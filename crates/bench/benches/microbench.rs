@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks of the hot paths: BCH encode/decode, the
+//! drift sampler, the analytic reliability integral, and end-to-end
+//! simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use readduo_core::{common::DriftSampler, SchemeKind};
+use readduo_ecc::Bch;
+use readduo_math::{erfc, GaussLegendre};
+use readduo_memsim::{MemoryConfig, Simulator};
+use readduo_pcm::MetricConfig;
+use readduo_reliability::{CellErrorModel, LerAnalysis};
+use readduo_trace::{TraceGenerator, Workload};
+
+fn bench_math(c: &mut Criterion) {
+    let mut g = c.benchmark_group("math");
+    g.bench_function("erfc_mid", |b| b.iter(|| erfc(std::hint::black_box(2.3))));
+    g.bench_function("erfc_tail", |b| b.iter(|| erfc(std::hint::black_box(9.0))));
+    let rule = GaussLegendre::new(96);
+    g.bench_function("gauss_legendre_96", |b| {
+        b.iter(|| rule.integrate(0.0, 1.0, |x| (-x * x).exp()))
+    });
+    g.finish();
+}
+
+fn bench_bch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bch");
+    let code = Bch::new(10, 8, 512);
+    let data = vec![0xA7u8; 64];
+    g.bench_function("encode_512b_t8", |b| b.iter(|| code.encode(&data)));
+    let clean = code.encode(&data);
+    g.bench_function("decode_clean", |b| {
+        b.iter_batched(
+            || clean.clone(),
+            |mut cw| code.decode(&mut cw),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut with_errors = clean.clone();
+    for i in [3usize, 99, 255, 400] {
+        with_errors.flip(i);
+    }
+    g.bench_function("decode_4_errors", |b| {
+        b.iter_batched(
+            || with_errors.clone(),
+            |mut cw| code.decode(&mut cw),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_reliability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reliability");
+    let model = CellErrorModel::new(MetricConfig::r_metric());
+    g.bench_function("cell_error_integral", |b| {
+        b.iter(|| model.mean_cell_error_prob(std::hint::black_box(640.0)))
+    });
+    let analysis = LerAnalysis::new(model.clone());
+    g.bench_function("ler_tail_e8", |b| {
+        b.iter(|| analysis.ler_exceeding(8, std::hint::black_box(64.0)))
+    });
+    let mut sampler = DriftSampler::new(1);
+    g.bench_function("drift_sample_per_read", |b| {
+        b.iter(|| sampler.bit_errors_r(std::hint::black_box(320.0)))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let trace = TraceGenerator::new(1).generate(&Workload::toy(), 200_000, 4);
+    let sim = Simulator::new(MemoryConfig::paper());
+    for kind in [SchemeKind::Ideal, SchemeKind::Hybrid, SchemeKind::Select { k: 4, s: 2 }] {
+        g.bench_function(format!("run_{}", kind.label()), |b| {
+            b.iter_batched(
+                || kind.build(7),
+                |mut dev| sim.run(&trace, dev.as_mut()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_math, bench_bch, bench_reliability, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 9 — normalised execution time of the six headline schemes over
+//! the 14 SPEC2006 workloads.
+
+use readduo_bench::{normalized, render_table, write_csv, Harness};
+use readduo_core::SchemeKind;
+use readduo_trace::Workload;
+
+fn main() {
+    let harness = Harness::from_env();
+    let schemes = SchemeKind::headline();
+    let workloads = Workload::spec2006();
+    eprintln!(
+        "running {} schemes x {} workloads at {} instr/core …",
+        schemes.len(),
+        workloads.len(),
+        harness.instructions_per_core
+    );
+    let results = harness.run_matrix(&schemes, &workloads);
+    let rows = normalized(&results, SchemeKind::Ideal, |r| r.exec_ns as f64);
+
+    let mut header: Vec<String> = vec!["workload".into()];
+    header.extend(schemes.iter().map(|s| s.label()));
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(w, cols)| {
+            let mut row = vec![w.clone()];
+            row.extend(cols.iter().map(|(_, v)| format!("{v:.3}")));
+            row
+        })
+        .collect();
+
+    println!("Figure 9: normalised execution time (Ideal = 1.0)\n");
+    println!("{}", render_table(&header, &table));
+    let (_, geo) = rows.last().unwrap();
+    for (s, v) in geo {
+        println!("  {s:<12} geomean overhead over Ideal: {:+.1}%", (v - 1.0) * 100.0);
+    }
+    println!(
+        "\npaper reference: Scrubbing +21%, M-metric +25%, Hybrid +5.8%, \
+         LWT-4 +2.9%, Select-4:2 +3.4%"
+    );
+
+    let mut csv = vec![header];
+    csv.extend(table);
+    write_csv("fig9", &csv);
+}

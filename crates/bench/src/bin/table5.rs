@@ -1,0 +1,51 @@
+//! Table V — the W=1 safety conditions (ii) and (iii) for the three
+//! candidate operating points.
+
+use readduo_bench::{fmt_prob, render_table, write_csv};
+use readduo_pcm::MetricConfig;
+use readduo_reliability::{condition_ii, condition_iii, target, CellErrorModel};
+
+fn main() {
+    let r = CellErrorModel::new(MetricConfig::r_metric());
+    let m = CellErrorModel::new(MetricConfig::m_metric());
+    let cases: Vec<(&str, &CellErrorModel, u64, f64)> = vec![
+        ("R(BCH=8,S=8)", &r, 8, 8.0),
+        ("R(BCH=10,S=8)", &r, 10, 8.0),
+        ("M(BCH=8,S=640)", &m, 8, 640.0),
+    ];
+
+    let header: Vec<String> = vec![
+        "scheme".into(),
+        "P(ii) W=1".into(),
+        "P(iii) W=1".into(),
+        "LER_DRAM".into(),
+        "meets target".into(),
+    ];
+    let mut rows = Vec::new();
+    for (name, model, e, s) in &cases {
+        let ii = condition_ii(model, *e, *s);
+        let iii = condition_iii(model, *e, *s);
+        let t = target::ler_target(*s);
+        let meets = ii.to_prob() < t && iii.to_prob() < t;
+        rows.push(vec![
+            name.to_string(),
+            fmt_prob(ii),
+            fmt_prob(iii),
+            format!("{t:.2E}"),
+            meets.to_string(),
+        ]);
+    }
+
+    println!("Table V: conditions (ii)/(iii) when choosing W=1\n");
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "Design conclusion: an R-sensing W=1 policy has no engineering margin \n\
+         (BCH=8 sits at the target line; the paper crosses it, our thinner-tailed \n\
+         model grazes it), while M(BCH=8,S=640,W=1) clears it by many decades — \n\
+         hence M-scrubbing with W=1 plus last-write tracking in ReadDuo-LWT."
+    );
+
+    let mut csv = vec![header];
+    csv.extend(rows);
+    write_csv("table5", &csv);
+}

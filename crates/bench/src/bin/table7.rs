@@ -1,0 +1,49 @@
+//! Table VII — subarray area occupancy with the hybrid sense amplifier.
+
+use readduo_bench::{render_table, write_csv};
+use readduo_core::SubarrayArea;
+
+fn main() {
+    let conventional = SubarrayArea::conventional();
+    let readduo = SubarrayArea::readduo();
+
+    let header: Vec<String> = vec![
+        "component".into(),
+        "conventional (um^2)".into(),
+        "share".into(),
+        "ReadDuo (um^2)".into(),
+        "share".into(),
+    ];
+    let mut rows = Vec::new();
+    for ((name, a, sa), (_, b, sb)) in conventional
+        .breakdown()
+        .into_iter()
+        .zip(readduo.breakdown())
+    {
+        rows.push(vec![
+            name.to_string(),
+            format!("{a:.1}"),
+            format!("{:.2}%", sa * 100.0),
+            format!("{b:.1}"),
+            format!("{:.2}%", sb * 100.0),
+        ]);
+    }
+    rows.push(vec![
+        "total".into(),
+        format!("{:.1}", conventional.total_um2()),
+        "100%".into(),
+        format!("{:.1}", readduo.total_um2()),
+        "100%".into(),
+    ]);
+
+    println!("Table VII: subarray area occupancy (NVSim-substitute model)\n");
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "Hybrid sense amplifier area increment: {:.2}% (paper: 0.27%)",
+        readduo.overhead_vs_conventional() * 100.0
+    );
+
+    let mut csv = vec![header];
+    csv.extend(rows);
+    write_csv("table7", &csv);
+}

@@ -1,0 +1,275 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each binary under `src/bin/` reproduces one artifact:
+//!
+//! | binary   | paper artifact |
+//! |----------|----------------|
+//! | `table3` | Table III — LER vs (E, S), R-sensing |
+//! | `table4` | Table IV — LER vs (E, S), M-sensing |
+//! | `table5` | Table V — conditions (ii)/(iii) under W=1 |
+//! | `table7` | Table VII — subarray area occupancy |
+//! | `fig3`   | Figure 3 — motivation: perf & density of prior schemes |
+//! | `fig9`   | Figure 9 — normalised execution time |
+//! | `fig10`  | Figure 10 — normalised dynamic energy |
+//! | `fig11`  | Figure 11 — cells/line and EDAP |
+//! | `fig12`  | Figure 12 — sensitivity to sub-interval count k |
+//! | `fig13`  | Figure 13 — sensitivity to Select window s |
+//! | `fig14`  | Figure 14 — R-M-read conversion ablation |
+//! | `fig15`  | Figure 15 — PCM lifetime impact |
+//!
+//! Every binary prints the series to stdout and writes a CSV under
+//! `target/experiments/`. Simulation volume is controlled by the
+//! `READDUO_INSTR` environment variable (instructions per core; default
+//! one million — enough for stable ratios, small enough for CI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use readduo_core::{EdapInputs, SchemeKind};
+use readduo_memsim::{MemoryConfig, SimReport, Simulator};
+use readduo_trace::{TraceGenerator, Workload};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// One (workload, scheme) simulation result.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Scheme configuration.
+    pub scheme: SchemeKind,
+    /// Full simulator report.
+    pub report: SimReport,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Instructions simulated per core.
+    pub instructions_per_core: u64,
+    /// Cores used (traces and machine).
+    pub cores: usize,
+    /// Master seed for traces and scheme RNG streams.
+    pub seed: u64,
+    /// Memory system configuration.
+    pub memory: MemoryConfig,
+}
+
+impl Harness {
+    /// Builds the default harness; `READDUO_INSTR` overrides the volume.
+    pub fn from_env() -> Self {
+        let instructions_per_core = std::env::var("READDUO_INSTR")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_000_000);
+        Self {
+            instructions_per_core,
+            cores: 4,
+            seed: 0x00D5_EAD0_2016,
+            memory: MemoryConfig::paper(),
+        }
+    }
+
+    /// Runs one (workload, scheme) pair.
+    pub fn run_one(&self, workload: &Workload, scheme: SchemeKind) -> RunResult {
+        let trace =
+            TraceGenerator::new(self.seed).generate(workload, self.instructions_per_core, self.cores);
+        let sim = Simulator::new(self.memory);
+        // Lines below the warm boundary are in write steady state; the
+        // schemes treat them as recently written (pre-window).
+        let warm_boundary = (workload.footprint_lines.max(16) as f64
+            * workload.locality.written_fraction) as u64;
+        let mut device = scheme.build_for(self.seed ^ workload.name.len() as u64, warm_boundary);
+        let report = sim.run(&trace, device.as_mut());
+        RunResult {
+            workload: workload.name,
+            scheme,
+            report,
+        }
+    }
+
+    /// Runs the full `schemes × workloads` matrix.
+    pub fn run_matrix(&self, schemes: &[SchemeKind], workloads: &[Workload]) -> Vec<RunResult> {
+        let mut out = Vec::with_capacity(schemes.len() * workloads.len());
+        for w in workloads {
+            for &s in schemes {
+                out.push(self.run_one(w, s));
+            }
+        }
+        out
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Finds the result for a (workload, scheme) pair.
+pub fn result_for<'a>(
+    results: &'a [RunResult],
+    workload: &str,
+    scheme: SchemeKind,
+) -> Option<&'a RunResult> {
+    results
+        .iter()
+        .find(|r| r.workload == workload && r.scheme == scheme)
+}
+
+/// Per-workload metric ratios of each scheme against a baseline scheme.
+///
+/// Returns `(workload, Vec<(scheme, ratio)>)` rows in workload order plus a
+/// final `"geomean"` row.
+pub fn normalized<F: Fn(&SimReport) -> f64>(
+    results: &[RunResult],
+    baseline: SchemeKind,
+    metric: F,
+) -> Vec<(String, Vec<(SchemeKind, f64)>)> {
+    let mut workloads: Vec<&'static str> = results.iter().map(|r| r.workload).collect();
+    workloads.dedup();
+    let mut schemes: Vec<SchemeKind> = Vec::new();
+    for r in results {
+        if !schemes.contains(&r.scheme) {
+            schemes.push(r.scheme);
+        }
+    }
+    let mut rows = Vec::new();
+    let mut per_scheme_ratios: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for w in &workloads {
+        let base = result_for(results, w, baseline)
+            .unwrap_or_else(|| panic!("missing baseline run for {w}"));
+        let base_v = metric(&base.report);
+        let mut row = Vec::new();
+        for (si, &s) in schemes.iter().enumerate() {
+            let r = result_for(results, w, s)
+                .unwrap_or_else(|| panic!("missing {s} run for {w}"));
+            let ratio = if base_v > 0.0 {
+                metric(&r.report) / base_v
+            } else {
+                1.0
+            };
+            per_scheme_ratios[si].push(ratio);
+            row.push((s, ratio));
+        }
+        rows.push((w.to_string(), row));
+    }
+    let geo: Vec<(SchemeKind, f64)> = schemes
+        .iter()
+        .zip(&per_scheme_ratios)
+        .map(|(&s, v)| (s, readduo_math::geometric_mean(v).unwrap_or(1.0)))
+        .collect();
+    rows.push(("geomean".into(), geo));
+    rows
+}
+
+/// EDAP inputs for a result (report + the scheme's storage cost).
+pub fn edap_inputs(r: &RunResult) -> EdapInputs {
+    EdapInputs::from_report(&r.report, r.scheme.storage().area_cells())
+}
+
+/// The output directory for CSV artifacts (`target/experiments`).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes CSV rows (first row = header) to `target/experiments/<name>.csv`.
+pub fn write_csv(name: &str, rows: &[Vec<String>]) {
+    let path = out_dir().join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write csv");
+    }
+    println!("\n[csv] {}", path.display());
+}
+
+/// Formats a probability the way the paper's tables do: scientific
+/// notation, or `too small` below 1e-15.
+pub fn fmt_prob(p: readduo_math::LogProb) -> String {
+    let v = p.to_prob();
+    if v < 1e-15 {
+        "too small".into()
+    } else {
+        format!("{v:.2E}")
+    }
+}
+
+/// Renders an aligned text table.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_harness() -> Harness {
+        Harness {
+            instructions_per_core: 40_000,
+            cores: 2,
+            seed: 7,
+            memory: MemoryConfig::small_test(),
+        }
+    }
+
+    #[test]
+    fn matrix_runs_and_normalises() {
+        let h = tiny_harness();
+        let schemes = [SchemeKind::Ideal, SchemeKind::MMetric];
+        let workloads = [Workload::toy()];
+        let results = h.run_matrix(&schemes, &workloads);
+        assert_eq!(results.len(), 2);
+        let rows = normalized(&results, SchemeKind::Ideal, |r| r.exec_ns as f64);
+        assert_eq!(rows.len(), 2, "one workload + geomean");
+        let (_, geo) = rows.last().unwrap();
+        let ideal = geo.iter().find(|(s, _)| *s == SchemeKind::Ideal).unwrap().1;
+        let m = geo.iter().find(|(s, _)| *s == SchemeKind::MMetric).unwrap().1;
+        assert!((ideal - 1.0).abs() < 1e-12);
+        assert!(m >= 1.0, "M-metric cannot be faster than Ideal: {m}");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a".into(), "bb".into()],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(t.contains("333"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn prob_formatting_matches_paper_convention() {
+        use readduo_math::LogProb;
+        assert_eq!(fmt_prob(LogProb::from_prob(0.0)), "too small");
+        assert_eq!(fmt_prob(LogProb::new(-60.0)), "too small");
+        assert!(fmt_prob(LogProb::from_prob(1.23e-3)).contains("E-3"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The dynamic R-M-read conversion controller (Section III-C).
+//!
+//! After an R-M-read, ReadDuo-LWT may *convert* the read into a redundant
+//! write of the same data, so the line becomes tracked and the next 640 s
+//! of reads use fast R-sensing. Converting everything would wear the chip;
+//! converting nothing leaves scan-heavy workloads stuck in slow reads. The
+//! paper monitors `P%` — the percentage of reads falling on un-tracked
+//! lines — and adjusts the conversion percentage `T ∈ [0, 100]` in steps
+//! of 10 per epoch.
+//!
+//! The paper's adjustment sentence is corrupted in the scan ("We increase
+//! T if an increment gives 2 times percentage increase on P and decrease,
+//! and decrease T if P is greater than 85%"). The controller implemented
+//! here follows its legible intent:
+//!
+//! * `P% > 85` — conversions cannot keep up (a streaming scan over cold
+//!   data); converting only burns endurance, so **decrease** `T`,
+//! * `P%` above a working threshold (10%) and not improving at twice the
+//!   rate the last step promised — hold; improving — **increase** `T`,
+//! * `P%` small — tracked lines dominate; hold (no wasted writes).
+
+/// Epoch-based controller for the conversion percentage `T`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConversionController {
+    t_percent: u32,
+    /// `P%` observed in the previous epoch, if any.
+    prev_p: Option<f64>,
+    /// Reads per adjustment epoch.
+    epoch_reads: u32,
+    /// Reads seen this epoch.
+    seen: u32,
+    /// Untracked reads seen this epoch.
+    untracked: u32,
+}
+
+/// Upper bound on useful conversion: beyond this `P%` the workload is a
+/// cold scan and conversions are counter-productive.
+const P_HOPELESS: f64 = 85.0;
+/// Below this `P%` the tracking is already effective.
+const P_GOOD: f64 = 10.0;
+/// `T` moves in steps of 10 within [0, 100].
+const T_STEP: u32 = 10;
+
+impl ConversionController {
+    /// Creates the controller with the starting conversion rate `t0` (the
+    /// evaluation starts at 50) and the epoch length in reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0 > 100` or `epoch_reads == 0`.
+    pub fn new(t0: u32, epoch_reads: u32) -> Self {
+        assert!(t0 <= 100, "T is a percentage, got {t0}");
+        assert!(epoch_reads > 0, "epoch must contain reads");
+        Self {
+            t_percent: t0,
+            prev_p: None,
+            epoch_reads,
+            seen: 0,
+            untracked: 0,
+        }
+    }
+
+    /// The paper's configuration: start at T = 50, adapt every 4096 reads.
+    pub fn paper() -> Self {
+        Self::new(50, 4096)
+    }
+
+    /// Current conversion percentage.
+    pub fn t_percent(&self) -> u32 {
+        self.t_percent
+    }
+
+    /// Records one read; returns whether an R-M-read at this point should
+    /// be converted (deterministic `T%` duty-cycling, no RNG: exactly `T`
+    /// out of each 100 R-M-reads convert).
+    pub fn observe_read(&mut self, untracked: bool) {
+        self.seen += 1;
+        if untracked {
+            self.untracked += 1;
+        }
+        if self.seen >= self.epoch_reads {
+            self.adjust();
+        }
+    }
+
+    /// Should the `n`-th R-M-read be converted? Duty-cycled on the
+    /// counter so exactly `T%` convert.
+    pub fn should_convert(&self, rm_read_counter: u64) -> bool {
+        (rm_read_counter % 100) < self.t_percent as u64
+    }
+
+    /// Current-epoch untracked percentage.
+    fn p_percent(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            100.0 * self.untracked as f64 / self.seen as f64
+        }
+    }
+
+    fn adjust(&mut self) {
+        let p = self.p_percent();
+        if p > P_HOPELESS {
+            // A cold scan: back off.
+            self.t_percent = self.t_percent.saturating_sub(T_STEP);
+        } else if p > P_GOOD {
+            // Tracking is paying off but P is still high; push harder
+            // unless the previous step produced no improvement at all.
+            let improving = self.prev_p.is_none_or(|prev| p < prev * 2.0);
+            if improving {
+                self.t_percent = (self.t_percent + T_STEP).min(100);
+            }
+        }
+        self.prev_p = Some(p);
+        self.seen = 0;
+        self.untracked = 0;
+    }
+}
+
+impl Default for ConversionController {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_epoch(c: &mut ConversionController, untracked_frac: f64) {
+        let n = c.epoch_reads;
+        let untracked = (n as f64 * untracked_frac) as u32;
+        for i in 0..n {
+            c.observe_read(i < untracked);
+        }
+    }
+
+    #[test]
+    fn cold_scan_backs_off_to_zero() {
+        let mut c = ConversionController::new(50, 100);
+        for _ in 0..10 {
+            run_epoch(&mut c, 0.95);
+        }
+        assert_eq!(c.t_percent(), 0, "scan-dominated workload must stop converting");
+    }
+
+    #[test]
+    fn moderate_untracked_ramps_up() {
+        let mut c = ConversionController::new(0, 100);
+        run_epoch(&mut c, 0.4);
+        assert_eq!(c.t_percent(), 10);
+        // P falls as conversions take effect → keep climbing.
+        run_epoch(&mut c, 0.3);
+        run_epoch(&mut c, 0.2);
+        assert_eq!(c.t_percent(), 30);
+    }
+
+    #[test]
+    fn low_untracked_holds_steady() {
+        let mut c = ConversionController::new(30, 100);
+        for _ in 0..5 {
+            run_epoch(&mut c, 0.02);
+        }
+        assert_eq!(c.t_percent(), 30);
+    }
+
+    #[test]
+    fn stalls_when_p_stops_improving() {
+        let mut c = ConversionController::new(0, 100);
+        run_epoch(&mut c, 0.2); // ramps to 10, prev_p = 20
+        assert_eq!(c.t_percent(), 10);
+        // P explodes relative to last epoch (≥2×): hold.
+        run_epoch(&mut c, 0.5);
+        assert_eq!(c.t_percent(), 10);
+    }
+
+    #[test]
+    fn duty_cycle_is_exact() {
+        let c = ConversionController::new(30, 100);
+        let converted = (0..1000u64).filter(|&i| c.should_convert(i)).count();
+        assert_eq!(converted, 300);
+        let never = ConversionController::new(0, 100);
+        assert!(!(0..100u64).any(|i| never.should_convert(i)));
+        let always = ConversionController::new(100, 100);
+        assert!((0..100u64).all(|i| always.should_convert(i)));
+    }
+
+    #[test]
+    fn t_stays_in_bounds() {
+        let mut c = ConversionController::new(100, 100);
+        run_epoch(&mut c, 0.4);
+        assert_eq!(c.t_percent(), 100, "clamped at 100");
+        let mut c = ConversionController::new(0, 100);
+        run_epoch(&mut c, 0.95);
+        assert_eq!(c.t_percent(), 0, "clamped at 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn oversized_t_rejected() {
+        let _ = ConversionController::new(101, 10);
+    }
+}

@@ -1,0 +1,124 @@
+//! EDAP — the Energy-Delay-Area Product metric of Figure 11.
+//!
+//! The paper evaluates the overall trade-off as the product of normalised
+//! execution time, normalised energy, and normalised storage area (cells
+//! per line). Lower is better. Two variants:
+//!
+//! * **Product-D** uses *dynamic* energy only,
+//! * **Product-S** uses *system* energy: dynamic plus a background
+//!   (leakage + peripheral clocking) term that accrues with execution
+//!   time, so slow schemes pay twice.
+
+use readduo_memsim::SimReport;
+
+/// Background (static) power per memory system, used by Product-S.
+///
+/// PCM cells themselves leak nothing; the periphery and controller do.
+/// ~1 W for an 8 GB part follows the NVSim-class estimates the paper's
+/// infrastructure produces.
+pub const BACKGROUND_POWER_W: f64 = 1.0;
+
+/// One scheme's aggregate costs, normalised against a baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdapInputs {
+    /// Execution time, ns.
+    pub exec_ns: u64,
+    /// Dynamic energy, pJ.
+    pub dynamic_pj: f64,
+    /// Cells (area units) per stored line.
+    pub area_cells: f64,
+}
+
+impl EdapInputs {
+    /// Extracts the inputs from a simulation report plus the scheme's
+    /// per-line storage cost.
+    pub fn from_report(report: &SimReport, area_cells: f64) -> Self {
+        Self {
+            exec_ns: report.exec_ns,
+            dynamic_pj: report.energy_total_pj(),
+            area_cells,
+        }
+    }
+
+    /// System energy in pJ: dynamic + background power × execution time
+    /// (1 W = 10¹² pJ/s = 10³ pJ/ns).
+    pub fn system_pj(&self) -> f64 {
+        self.dynamic_pj + BACKGROUND_POWER_W * self.exec_ns as f64 * 1e3
+    }
+
+    /// EDAP with dynamic energy (Product-D), normalised to `baseline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline has zero time/energy/area.
+    pub fn product_d(&self, baseline: &EdapInputs) -> f64 {
+        assert!(
+            baseline.exec_ns > 0 && baseline.dynamic_pj > 0.0 && baseline.area_cells > 0.0,
+            "baseline must be non-degenerate"
+        );
+        (self.exec_ns as f64 / baseline.exec_ns as f64)
+            * (self.dynamic_pj / baseline.dynamic_pj)
+            * (self.area_cells / baseline.area_cells)
+    }
+
+    /// EDAP with system energy (Product-S), normalised to `baseline`.
+    pub fn product_s(&self, baseline: &EdapInputs) -> f64 {
+        assert!(
+            baseline.exec_ns > 0 && baseline.area_cells > 0.0,
+            "baseline must be non-degenerate"
+        );
+        (self.exec_ns as f64 / baseline.exec_ns as f64)
+            * (self.system_pj() / baseline.system_pj())
+            * (self.area_cells / baseline.area_cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(exec_ns: u64, dynamic_pj: f64, area: f64) -> EdapInputs {
+        EdapInputs { exec_ns, dynamic_pj, area_cells: area }
+    }
+
+    #[test]
+    fn self_normalisation_is_one() {
+        let a = inputs(1000, 5000.0, 300.0);
+        assert!((a.product_d(&a) - 1.0).abs() < 1e-12);
+        assert!((a.product_s(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn each_factor_scales_linearly() {
+        let base = inputs(1000, 5000.0, 300.0);
+        assert!((inputs(2000, 5000.0, 300.0).product_d(&base) - 2.0).abs() < 1e-12);
+        assert!((inputs(1000, 10_000.0, 300.0).product_d(&base) - 2.0).abs() < 1e-12);
+        assert!((inputs(1000, 5000.0, 150.0).product_d(&base) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn system_energy_includes_time_term() {
+        let fast = inputs(1000, 5000.0, 300.0);
+        let slow = inputs(2000, 5000.0, 300.0);
+        // 1 W background: 1000 ns → 1e6 pJ.
+        assert!((fast.system_pj() - (5000.0 + 1e6)).abs() < 1e-6);
+        // Product-S punishes slowness more than Product-D.
+        assert!(slow.product_s(&fast) > slow.product_d(&fast));
+    }
+
+    #[test]
+    fn denser_faster_scheme_wins_both_products() {
+        let tlc_like = inputs(1000, 5000.0, 432.0);
+        let select_like = inputs(1030, 4000.0, 302.0);
+        assert!(select_like.product_d(&tlc_like) < 1.0);
+        assert!(select_like.product_s(&tlc_like) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn degenerate_baseline_rejected() {
+        let a = inputs(1000, 5000.0, 300.0);
+        let z = inputs(0, 0.0, 0.0);
+        let _ = a.product_d(&z);
+    }
+}

@@ -1,0 +1,275 @@
+//! Last-Write-Tracking flag algebra (paper Section III-C, Figure 5).
+//!
+//! A ReadDuo-LWT-k scheme splits the `S = 640 s` scrub interval of each
+//! line into `k` sub-intervals and attaches two SLC-stored flags:
+//!
+//! * a `k`-bit **vector-flag** — bit `x` set means "there was a write in
+//!   the current or closest preceding sub-interval labelled `x`",
+//! * a `log₂k`-bit **index-flag** `ind` — the sub-interval of the last
+//!   write, or 0 right after a scrub.
+//!
+//! Sub-intervals are labelled `0..k` relative to the line's own scrub time
+//! (label 0 starts when the line is scrubbed). The protocol maintains one
+//! safety invariant the whole hybrid design rests on:
+//!
+//! > **If the flags allow R-sensing at a read, the line was fully written
+//! > within the last `S` seconds.**
+//!
+//! The inverse need not hold — the flags may conservatively deny R-sensing
+//! for a line whose write is up to one sub-interval shy of the limit — and
+//! the property-based test below checks both directions (safety exactly,
+//! conservatism within one sub-interval).
+
+/// The per-line LWT flag state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LwtFlags {
+    k: u8,
+    /// Vector-flag, bit `x` ↔ sub-interval label `x`.
+    vector: u32,
+    /// Index-flag.
+    ind: u8,
+}
+
+impl LwtFlags {
+    /// Fresh (untracked) flags for a `k`-sub-interval scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is a power of two in `2..=32`.
+    pub fn new(k: u8) -> Self {
+        assert!(
+            k.is_power_of_two() && (2..=32).contains(&k),
+            "k must be a power of two in 2..=32, got {k}"
+        );
+        Self { k, vector: 0, ind: 0 }
+    }
+
+    /// Number of sub-intervals.
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// Raw vector-flag (tests / storage sizing).
+    pub fn vector(&self) -> u32 {
+        self.vector
+    }
+
+    /// Raw index-flag.
+    pub fn index(&self) -> u8 {
+        self.ind
+    }
+
+    /// Total SLC bits this scheme stores per line (`k + log₂k`).
+    pub fn storage_bits(k: u8) -> u32 {
+        k as u32 + k.trailing_zeros()
+    }
+
+    /// Records a full-line write in sub-interval `s`.
+    ///
+    /// Clears the stale bits in `(ind, s)` — those labels last referred to
+    /// writes from the *previous* cycle, which after this write would
+    /// otherwise be misread as recent on the next cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= k`.
+    pub fn on_write(&mut self, s: u8) {
+        assert!(s < self.k, "sub-interval {s} out of range (k = {})", self.k);
+        // Within one cycle time only moves forward: s >= ind after the
+        // cycle-start scrub reset. A same-label write just re-sets its bit.
+        if s > self.ind {
+            for x in (self.ind + 1)..s {
+                self.vector &= !(1u32 << x);
+            }
+        }
+        self.vector |= 1u32 << s;
+        self.ind = s;
+    }
+
+    /// Records the line's scrub at the start of a new cycle.
+    ///
+    /// Only the *last* write of the ended cycle (bit `ind`) survives into
+    /// the new cycle; every other bit is cleared — bits below `ind` are a
+    /// full cycle old, and bits above `ind` date from the cycle *before*
+    /// that (they were set before this cycle's writes and never refreshed),
+    /// so letting them survive would let a two-cycle-old write masquerade
+    /// as recent (the property test `lwt_flags_safety` catches exactly
+    /// that sequence). Bit 0 is then set iff the scrub rewrote the line,
+    /// and the index resets to 0 (Figure 5's `scrub1`/`scrub3` behave
+    /// identically under this rule).
+    pub fn on_scrub(&mut self, rewrote: bool) {
+        self.vector = if self.ind == 0 {
+            0
+        } else {
+            self.vector & (1u32 << self.ind)
+        };
+        if rewrote {
+            self.vector |= 1;
+        } else {
+            self.vector &= !1;
+        }
+        self.ind = 0;
+    }
+
+    /// Decides whether a read in sub-interval `s` may use R-sensing
+    /// (enhanced readout control, the three cases of Section III-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= k`.
+    pub fn read_allows_r(&self, s: u8) -> bool {
+        assert!(s < self.k, "sub-interval {s} out of range (k = {})", self.k);
+        if self.vector == 0 {
+            // Case (ii): no write in the past S seconds.
+            return false;
+        }
+        if self.ind != 0 {
+            // Case (i): a write within the current cycle.
+            return true;
+        }
+        // Case (iii): ind == 0 — discard the bits in [1, s]; those labels
+        // refer to the previous cycle and are now beyond S.
+        let mut v = self.vector;
+        for x in 1..=s {
+            v &= !(1u32 << x);
+        }
+        v != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replays Figure 5: k = 4, a write W1 in sub-interval 2, then three
+    /// scrubs none of which rewrites, and the read R1 in sub-interval 2 of
+    /// the following cycle must fall back to M-sensing.
+    #[test]
+    fn figure5_walkthrough() {
+        let mut f = LwtFlags::new(4);
+        // W1 in sub-interval 2: sets bit 2, ind = 2.
+        f.on_write(2);
+        assert_eq!(f.vector(), 0b0100);
+        assert_eq!(f.index(), 2);
+        // scrub1 (no rewrite): clears bits 0..2, ind -> 0.
+        f.on_scrub(false);
+        assert_eq!(f.vector(), 0b0100);
+        assert_eq!(f.index(), 0);
+        // Reads early in the new cycle may still R-sense…
+        assert!(f.read_allows_r(0));
+        assert!(f.read_allows_r(1));
+        // …but R1 in sub-interval 2 discards [1,2] → vector empty → M-sense.
+        assert!(!f.read_allows_r(2));
+        assert!(!f.read_allows_r(3));
+        // scrub2 (no rewrite): ind == 0 clears everything.
+        f.on_scrub(false);
+        assert_eq!(f.vector(), 0);
+        for s in 0..4 {
+            assert!(!f.read_allows_r(s), "untracked line must M-sense");
+        }
+        // scrub3 behaves identically on the empty state.
+        f.on_scrub(false);
+        assert_eq!(f.vector(), 0);
+        assert_eq!(f.index(), 0);
+    }
+
+    #[test]
+    fn scrub_rewrite_sets_bit0_and_tracks() {
+        let mut f = LwtFlags::new(4);
+        f.on_scrub(true); // W=0-style rewrite at scrub time
+        assert_eq!(f.vector(), 0b0001);
+        // The rewrite keeps the whole next cycle R-sensible.
+        for s in 0..4 {
+            assert!(f.read_allows_r(s), "s={s}");
+        }
+        // One more scrub without rewrite: bit 0 clears (ind == 0 wipes).
+        f.on_scrub(false);
+        assert!(!f.read_allows_r(0));
+    }
+
+    #[test]
+    fn write_clears_stale_middle_bits() {
+        let mut f = LwtFlags::new(8);
+        f.on_write(1);
+        f.on_scrub(false); // bit 1 survives (previous cycle), ind = 0
+        f.on_write(5); // stale labels (0,5) from previous cycle cleared
+        assert_eq!(f.vector() & 0b0000_0010, 0, "bit 1 must be cleared");
+        assert!(f.vector() & 0b0010_0000 != 0, "bit 5 set");
+        assert_eq!(f.index(), 5);
+        assert!(f.read_allows_r(6));
+    }
+
+    /// Exhaustive safety check: simulate ground-truth write times against
+    /// the protocol over random op sequences; R-sensing must never be
+    /// allowed when the last full write is more than S seconds old.
+    #[test]
+    fn safety_invariant_random_sequences() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for k in [2u8, 4, 8] {
+            for trial in 0..200 {
+                let mut f = LwtFlags::new(k);
+                let s_len = 1.0; // one sub-interval = 1 time unit; S = k
+                let mut now = 0.0f64;
+                let mut last_write = f64::NEG_INFINITY;
+                let mut last_scrub = 0.0f64;
+                for _ in 0..60 {
+                    // Advance time by up to half a sub-interval.
+                    now += rng.gen_range(0.0..0.5 * s_len);
+                    // Fire the line's scrub at each cycle boundary.
+                    while now - last_scrub >= k as f64 * s_len {
+                        last_scrub += k as f64 * s_len;
+                        f.on_scrub(false);
+                    }
+                    let sub = ((now - last_scrub) / s_len) as u8;
+                    let sub = sub.min(k - 1);
+                    match rng.gen_range(0..3) {
+                        0 => {
+                            f.on_write(sub);
+                            last_write = now;
+                        }
+                        _ => {
+                            if f.read_allows_r(sub) {
+                                let age = now - last_write;
+                                assert!(
+                                    age <= k as f64 * s_len + 1e-9,
+                                    "k={k} trial={trial}: R allowed at age {age}"
+                                );
+                            } else if last_write.is_finite() {
+                                // Conservatism bound: denial only when the
+                                // write is within one sub-interval of the
+                                // limit or beyond it.
+                                let age = now - last_write;
+                                assert!(
+                                    age > (k as f64 - 2.0) * s_len - 1e-9,
+                                    "k={k} trial={trial}: R denied at young age {age}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn storage_bits_match_paper() {
+        // LWT-4: 4 + 2 = 6 bits per line.
+        assert_eq!(LwtFlags::storage_bits(4), 6);
+        assert_eq!(LwtFlags::storage_bits(2), 3);
+        assert_eq!(LwtFlags::storage_bits(8), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_k_rejected() {
+        let _ = LwtFlags::new(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_subinterval_rejected() {
+        let mut f = LwtFlags::new(4);
+        f.on_write(4);
+    }
+}

@@ -1,0 +1,229 @@
+//! Sparse per-line state with deterministic lazy cold defaults.
+//!
+//! The simulated memory holds ~2²⁷ lines; a trace touches a few hundred
+//! thousand. [`LineTable`] materialises state only for touched lines and
+//! synthesises a deterministic *cold* default for first touches: the line
+//! was last fully written `cold_age_s` seconds before the simulation epoch
+//! (plus a per-line jitter so ages do not align), and its LWT flags are
+//! clear (untracked).
+
+use crate::flags::LwtFlags;
+use std::collections::HashMap;
+
+/// Mutable per-line tracking state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineState {
+    /// Time of the last full-line write (seconds; negative = before the
+    /// simulation started).
+    pub last_full_write_s: f64,
+    /// Time of the last scrub visit (start of the line's current LWT
+    /// cycle).
+    pub last_scrub_s: f64,
+    /// LWT flags (unused by schemes without tracking, cheap to carry).
+    pub flags: LwtFlags,
+}
+
+/// Sparse line-state table.
+#[derive(Debug, Clone)]
+pub struct LineTable {
+    map: HashMap<u64, LineState>,
+    k: u8,
+    scrub_interval_s: f64,
+    cold_age_s: f64,
+    cold_at_scrub: bool,
+    /// Lines below this boundary belong to the workload's *warm* region:
+    /// they are in write steady state, so their pre-window last write is
+    /// recent (within one scrub interval) rather than ancient.
+    warm_boundary: u64,
+}
+
+impl LineTable {
+    /// Creates a table for a scheme with `k` LWT sub-intervals, scrub
+    /// interval `scrub_interval_s`, and cold lines last written
+    /// `cold_age_s` seconds before time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the intervals are not positive.
+    pub fn new(k: u8, scrub_interval_s: f64, cold_age_s: f64) -> Self {
+        assert!(scrub_interval_s > 0.0, "scrub interval must be positive");
+        assert!(cold_age_s >= 0.0, "cold age must be non-negative");
+        Self {
+            map: HashMap::new(),
+            k,
+            scrub_interval_s,
+            cold_age_s,
+            cold_at_scrub: false,
+            warm_boundary: 0,
+        }
+    }
+
+    /// Declares `[0, boundary)` the warm region: first touches of those
+    /// lines default to a synthetic pre-window write of age uniform in
+    /// `[0, S)` (deterministic per line), with LWT flags consistent with
+    /// that write — the steady state of data that is actively being
+    /// written.
+    pub fn set_warm_region(&mut self, boundary: u64) {
+        self.warm_boundary = boundary;
+    }
+
+    /// Makes cold lines default to "fully written at their last scrub" —
+    /// the steady state of a `W = 0` policy, which rewrites every line on
+    /// every scrub visit.
+    pub fn with_cold_writes_at_scrub(mut self) -> Self {
+        self.cold_at_scrub = true;
+        self
+    }
+
+    /// Number of lines with materialised state.
+    pub fn touched(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Scrub interval `S`.
+    pub fn scrub_interval_s(&self) -> f64 {
+        self.scrub_interval_s
+    }
+
+    /// Sub-interval length `S / k`.
+    pub fn sub_len_s(&self) -> f64 {
+        self.scrub_interval_s / self.k as f64
+    }
+
+    /// Deterministic per-line phase jitter in `[0, 1)` (hash of the id).
+    fn jitter(line: u64) -> f64 {
+        let mut x = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The state of `line`, materialising the cold default on first touch.
+    ///
+    /// Cold default: last full write `cold_age_s·(1 + jitter)` before time
+    /// 0; last scrub within the past interval (the scrub engine visits
+    /// every line once per `S`); flags clear.
+    pub fn get_mut(&mut self, line: u64, now_s: f64) -> &mut LineState {
+        let k = self.k;
+        let s = self.scrub_interval_s;
+        let sub_len = s / k as f64;
+        let cold = self.cold_age_s;
+        let cold_at_scrub = self.cold_at_scrub;
+        let warm = line < self.warm_boundary;
+        self.map.entry(line).or_insert_with(|| {
+            let j = Self::jitter(line);
+            // Anchor the line's scrub phase before time 0 and roll it
+            // forward to the most recent visit not after `now_s`.
+            let phase = j * s;
+            let cycles = ((now_s - phase) / s).floor().max(0.0);
+            let last_scrub_s = phase - s + cycles * s;
+            if warm {
+                // Steady-state warm line: last written `j2·S/2` ago (data
+                // that is actively written skews young); flags replay that
+                // write (and the scrub, if one intervened).
+                let j2 = Self::jitter(line ^ 0xABCD_EF01_2345_6789);
+                let write_t = now_s - j2 * s * 0.5;
+                let mut flags = LwtFlags::new(k);
+                if write_t >= last_scrub_s {
+                    let sub = (((write_t - last_scrub_s) / sub_len) as u8).min(k - 1);
+                    flags.on_write(sub);
+                } else {
+                    // Written in the previous cycle, then scrubbed.
+                    let prev_scrub = last_scrub_s - s;
+                    let sub = (((write_t - prev_scrub).max(0.0) / sub_len) as u8).min(k - 1);
+                    flags.on_write(sub);
+                    flags.on_scrub(false);
+                }
+                return LineState {
+                    last_full_write_s: write_t,
+                    last_scrub_s,
+                    flags,
+                };
+            }
+            LineState {
+                last_full_write_s: if cold_at_scrub {
+                    last_scrub_s
+                } else {
+                    -(cold * (1.0 + j))
+                },
+                last_scrub_s,
+                flags: LwtFlags::new(k),
+            }
+        })
+    }
+
+    /// The LWT sub-interval a time belongs to, relative to the line's last
+    /// scrub. Returns `None` when the line's scrub is overdue (more than
+    /// one full interval ago) — callers must treat that conservatively
+    /// (M-sense).
+    pub fn sub_interval(&self, st: &LineState, now_s: f64) -> Option<u8> {
+        let dt = now_s - st.last_scrub_s;
+        if dt < 0.0 || dt >= self.scrub_interval_s {
+            return None;
+        }
+        Some(((dt / self.sub_len_s()) as u8).min(self.k - 1))
+    }
+
+    /// Age of the last full write at `now_s`.
+    pub fn full_write_age(&self, st: &LineState, now_s: f64) -> f64 {
+        (now_s - st.last_full_write_s).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_default_is_old_and_untracked() {
+        let mut t = LineTable::new(4, 640.0, 1e6);
+        let st = *t.get_mut(42, 100.0);
+        assert!(st.last_full_write_s < 0.0);
+        assert!(t.full_write_age(&st, 100.0) > 1e6);
+        assert_eq!(st.flags.vector(), 0);
+        // Last scrub within the past interval.
+        assert!(st.last_scrub_s <= 100.0);
+        assert!(100.0 - st.last_scrub_s < 640.0);
+    }
+
+    #[test]
+    fn defaults_are_deterministic_but_line_dependent() {
+        let mut a = LineTable::new(4, 640.0, 1e6);
+        let mut b = LineTable::new(4, 640.0, 1e6);
+        assert_eq!(*a.get_mut(7, 0.0), *b.get_mut(7, 0.0));
+        let seven = a.get_mut(7, 0.0).last_full_write_s;
+        let eight = a.get_mut(8, 0.0).last_full_write_s;
+        assert_ne!(seven, eight);
+    }
+
+    #[test]
+    fn sub_interval_resolves_and_detects_overdue() {
+        let mut t = LineTable::new(4, 640.0, 1e6);
+        let st = t.get_mut(1, 1000.0);
+        st.last_scrub_s = 1000.0;
+        let st = *t.get_mut(1, 1000.0);
+        assert_eq!(t.sub_interval(&st, 1000.0), Some(0));
+        assert_eq!(t.sub_interval(&st, 1100.0), Some(0));
+        assert_eq!(t.sub_interval(&st, 1200.0), Some(1));
+        assert_eq!(t.sub_interval(&st, 1639.0), Some(3));
+        assert_eq!(t.sub_interval(&st, 1641.0), None, "overdue scrub");
+        assert_eq!(t.sub_interval(&st, 999.0), None, "before scrub");
+    }
+
+    #[test]
+    fn touched_counts_entries() {
+        let mut t = LineTable::new(2, 8.0, 1e5);
+        assert_eq!(t.touched(), 0);
+        t.get_mut(1, 0.0);
+        t.get_mut(2, 0.0);
+        t.get_mut(1, 5.0);
+        assert_eq!(t.touched(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = LineTable::new(4, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Scheme factory: one enum naming every configuration the evaluation
+//! runs, with constructors and per-scheme storage costs.
+
+use crate::area::LineStorage;
+use crate::schemes::{HybridScheme, LwtScheme, MMetricScheme, ScrubbingScheme, TlcScheme};
+use readduo_memsim::{DeviceModel, FixedLatencyDevice};
+
+/// Every scheme configuration in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Drift-free MLC (the normalisation baseline).
+    Ideal,
+    /// Efficient scrubbing [2], R-sensing, `(BCH=8, S=8, W=1)`.
+    Scrubbing,
+    /// The reliability-sound `(BCH=8, S=8, W=0)` variant.
+    ScrubbingW0,
+    /// M-sensing only, `(BCH=8, S=640, W=1)`.
+    MMetric,
+    /// ReadDuo-Hybrid, `(BCH=8, S=640, W=0)`.
+    Hybrid,
+    /// ReadDuo-LWT-k.
+    Lwt {
+        /// Sub-intervals per scrub interval.
+        k: u8,
+    },
+    /// LWT-k with R-M-read conversion disabled (Figure 14 ablation).
+    LwtNoConversion {
+        /// Sub-intervals per scrub interval.
+        k: u8,
+    },
+    /// ReadDuo-Select-(k:s).
+    Select {
+        /// Sub-intervals per scrub interval.
+        k: u8,
+        /// Full-write window in sub-intervals.
+        s: u8,
+    },
+    /// Tri-Level-Cell baseline [26].
+    Tlc,
+}
+
+impl SchemeKind {
+    /// The six headline schemes of Figures 9/10/15.
+    pub fn headline() -> Vec<SchemeKind> {
+        vec![
+            SchemeKind::Ideal,
+            SchemeKind::Scrubbing,
+            SchemeKind::MMetric,
+            SchemeKind::Hybrid,
+            SchemeKind::Lwt { k: 4 },
+            SchemeKind::Select { k: 4, s: 2 },
+        ]
+    }
+
+    /// Display label used in figures.
+    pub fn label(&self) -> String {
+        match self {
+            SchemeKind::Ideal => "Ideal".into(),
+            SchemeKind::Scrubbing => "Scrubbing".into(),
+            SchemeKind::ScrubbingW0 => "Scrubbing-W0".into(),
+            SchemeKind::MMetric => "M-metric".into(),
+            SchemeKind::Hybrid => "Hybrid".into(),
+            SchemeKind::Lwt { k } => format!("LWT-{k}"),
+            SchemeKind::LwtNoConversion { k } => format!("LWT-{k}-noconv"),
+            SchemeKind::Select { k, s } => format!("Select-{k}:{s}"),
+            SchemeKind::Tlc => "TLC".into(),
+        }
+    }
+
+    /// Builds the device model, seeding its RNG streams. Equivalent to
+    /// [`build_for`] with an empty warm region.
+    ///
+    /// [`build_for`]: SchemeKind::build_for
+    pub fn build(&self, seed: u64) -> Box<dyn DeviceModel> {
+        self.build_for(seed, 0)
+    }
+
+    /// Builds the device model for a workload whose warm (actively
+    /// written) region spans lines `[0, warm_boundary)` — those lines
+    /// default to steady-state recent writes instead of ancient ones.
+    pub fn build_for(&self, seed: u64, warm_boundary: u64) -> Box<dyn DeviceModel> {
+        match *self {
+            SchemeKind::Ideal => Box::new(FixedLatencyDevice::ideal()),
+            SchemeKind::Scrubbing => {
+                Box::new(ScrubbingScheme::paper(seed).with_warm_region(warm_boundary))
+            }
+            SchemeKind::ScrubbingW0 => Box::new(ScrubbingScheme::paper_w0(seed)),
+            SchemeKind::MMetric => {
+                Box::new(MMetricScheme::paper(seed).with_warm_region(warm_boundary))
+            }
+            SchemeKind::Hybrid => Box::new(HybridScheme::paper(seed)),
+            SchemeKind::Lwt { k } => {
+                Box::new(LwtScheme::paper(seed, k).with_warm_region(warm_boundary))
+            }
+            SchemeKind::LwtNoConversion { k } => {
+                Box::new(LwtScheme::without_conversion(seed, k).with_warm_region(warm_boundary))
+            }
+            SchemeKind::Select { k, s } => {
+                Box::new(LwtScheme::select(seed, k, s).with_warm_region(warm_boundary))
+            }
+            SchemeKind::Tlc => Box::new(TlcScheme::paper()),
+        }
+    }
+
+    /// Per-line storage cost for the area factor of EDAP.
+    pub fn storage(&self) -> LineStorage {
+        match *self {
+            SchemeKind::Ideal | SchemeKind::MMetric | SchemeKind::Hybrid => {
+                LineStorage::mlc_bch8()
+            }
+            SchemeKind::Scrubbing | SchemeKind::ScrubbingW0 => LineStorage::scrubbing(),
+            SchemeKind::Lwt { k }
+            | SchemeKind::LwtNoConversion { k }
+            | SchemeKind::Select { k, .. } => LineStorage::lwt(k),
+            SchemeKind::Tlc => LineStorage::tlc(),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_set_matches_figures() {
+        let h = SchemeKind::headline();
+        assert_eq!(h.len(), 6);
+        assert_eq!(h[0], SchemeKind::Ideal);
+        assert_eq!(h[5].label(), "Select-4:2");
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        let kinds = [
+            SchemeKind::Ideal,
+            SchemeKind::Scrubbing,
+            SchemeKind::ScrubbingW0,
+            SchemeKind::MMetric,
+            SchemeKind::Hybrid,
+            SchemeKind::Lwt { k: 4 },
+            SchemeKind::LwtNoConversion { k: 2 },
+            SchemeKind::Select { k: 4, s: 1 },
+            SchemeKind::Tlc,
+        ];
+        for k in kinds {
+            let mut dev = k.build(1);
+            // Every device must answer a read without panicking.
+            let r = dev.on_read(0, 10.0);
+            assert!(r.latency_ns >= 150, "{k}");
+            let _ = k.storage();
+            assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn storage_maps_to_expected_variants() {
+        assert_eq!(SchemeKind::Tlc.storage().tlc_cells, 432);
+        assert_eq!(SchemeKind::Scrubbing.storage().mlc_cells, 304);
+        assert_eq!(SchemeKind::Lwt { k: 4 }.storage().slc_bits, 6);
+    }
+}

@@ -1,0 +1,252 @@
+//! Arithmetic in the finite field GF(2^m).
+//!
+//! Elements are represented as `u32` bit patterns of polynomials over GF(2)
+//! modulo a primitive polynomial. Multiplication and inversion go through
+//! log/antilog tables built at construction time.
+
+/// Primitive polynomials for GF(2^m), m = 2..=14 (bit i = coefficient of
+/// x^i). Standard table entries (e.g. x^10 + x^3 + 1 for m = 10).
+const PRIMITIVE_POLYS: [(u32, u32); 13] = [
+    (2, 0b111),
+    (3, 0b1011),
+    (4, 0b10011),
+    (5, 0b100101),
+    (6, 0b1000011),
+    (7, 0b10001001),
+    (8, 0b100011101),
+    (9, 0b1000010001),
+    (10, 0b10000001001),
+    (11, 0b100000000101),
+    (12, 0b1000001010011),
+    (13, 0b10000000011011),
+    (14, 0b100010001000011),
+];
+
+/// The field GF(2^m) with precomputed discrete-log tables.
+///
+/// ```
+/// use readduo_ecc::GfField;
+/// let f = GfField::new(10);
+/// let a = 0x155;
+/// let b = 0x2A3;
+/// // Multiplication distributes over addition (XOR).
+/// let c = 0x0F0;
+/// assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GfField {
+    m: u32,
+    /// Field size minus one (multiplicative group order), `2^m - 1`.
+    q1: u32,
+    /// `exp[i] = α^i` for `i` in `0..2·q1` (doubled to skip a mod).
+    exp: Vec<u32>,
+    /// `log[x]` = discrete log of `x` (index 0 unused).
+    log: Vec<u32>,
+}
+
+impl GfField {
+    /// Constructs GF(2^m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is outside `2..=14`.
+    pub fn new(m: u32) -> Self {
+        let (_, poly) = *PRIMITIVE_POLYS
+            .iter()
+            .find(|&&(mm, _)| mm == m)
+            .unwrap_or_else(|| panic!("GF(2^m) supported for m in 2..=14, got {m}"));
+        let q1 = (1u32 << m) - 1;
+        let mut exp = vec![0u32; 2 * q1 as usize];
+        let mut log = vec![0u32; (q1 + 1) as usize];
+        let mut x = 1u32;
+        for i in 0..q1 {
+            exp[i as usize] = x;
+            log[x as usize] = i;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        for i in q1..2 * q1 {
+            exp[i as usize] = exp[(i - q1) as usize];
+        }
+        Self { m, q1, exp, log }
+    }
+
+    /// Field extension degree m.
+    pub fn degree(&self) -> u32 {
+        self.m
+    }
+
+    /// Multiplicative group order `2^m − 1` (the BCH natural length `n`).
+    pub fn order(&self) -> u32 {
+        self.q1
+    }
+
+    /// `α^i` (exponent taken mod `2^m − 1`).
+    pub fn alpha_pow(&self, i: u64) -> u32 {
+        self.exp[(i % self.q1 as u64) as usize]
+    }
+
+    /// Discrete log of a nonzero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is 0 (log of zero is undefined).
+    pub fn log(&self, x: u32) -> u32 {
+        assert!(x != 0, "discrete log of zero is undefined");
+        assert!(x <= self.q1, "element {x:#x} outside GF(2^{})", self.m);
+        self.log[x as usize]
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] + self.log[b as usize]) as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is 0.
+    pub fn inv(&self, a: u32) -> u32 {
+        assert!(a != 0, "zero has no multiplicative inverse");
+        self.exp[(self.q1 - self.log[a as usize]) as usize]
+    }
+
+    /// Division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is 0.
+    pub fn div(&self, a: u32, b: u32) -> u32 {
+        assert!(b != 0, "division by zero");
+        if a == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] + self.q1 - self.log[b as usize]) as usize]
+        }
+    }
+
+    /// `a^k` by log-domain multiplication.
+    pub fn pow(&self, a: u32, k: u64) -> u32 {
+        if a == 0 {
+            return if k == 0 { 1 } else { 0 };
+        }
+        let e = (self.log[a as usize] as u64 * k) % self.q1 as u64;
+        self.exp[e as usize]
+    }
+
+    /// The cyclotomic coset of `s` modulo `2^m − 1` (exponents of the
+    /// conjugates of `α^s`), used to build minimal polynomials.
+    pub fn cyclotomic_coset(&self, s: u32) -> Vec<u32> {
+        let q1 = self.q1;
+        let mut coset = vec![s % q1];
+        let mut cur = (s as u64 * 2 % q1 as u64) as u32;
+        while cur != coset[0] {
+            coset.push(cur);
+            cur = (cur as u64 * 2 % q1 as u64) as u32;
+        }
+        coset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_bijective() {
+        for m in [4u32, 8, 10] {
+            let f = GfField::new(m);
+            let mut seen = vec![false; (f.order() + 1) as usize];
+            for i in 0..f.order() {
+                let x = f.alpha_pow(i as u64);
+                assert!(x != 0 && x <= f.order());
+                assert!(!seen[x as usize], "m={m}: α^{i} repeats");
+                seen[x as usize] = true;
+                assert_eq!(f.log(x), i);
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_sampled() {
+        let f = GfField::new(10);
+        let elems = [1u32, 2, 3, 0x3FF, 0x155, 0x2A3, 77, 1000];
+        for &a in &elems {
+            // Identity and inverse.
+            assert_eq!(f.mul(a, 1), a);
+            assert_eq!(f.mul(a, f.inv(a)), 1);
+            for &b in &elems {
+                // Commutativity.
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                assert_eq!(f.div(f.mul(a, b), b), a);
+                for &c in &elems {
+                    // Associativity and distributivity over XOR.
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                    assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = GfField::new(8);
+        let a = 0x53;
+        let mut acc = 1u32;
+        for k in 0..20u64 {
+            assert_eq!(f.pow(a, k), acc, "a^{k}");
+            acc = f.mul(acc, a);
+        }
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn alpha_has_full_order() {
+        let f = GfField::new(10);
+        // α^(2^m - 1) = 1 and no smaller positive power is 1.
+        assert_eq!(f.pow(2, f.order() as u64), 1);
+        for k in 1..f.order() as u64 {
+            if (f.order() as u64).is_multiple_of(k) && k < f.order() as u64
+                && f.pow(2, k) == 1 && k != f.order() as u64 {
+                    panic!("α has premature order {k}");
+                }
+        }
+    }
+
+    #[test]
+    fn cyclotomic_cosets_partition() {
+        let f = GfField::new(6);
+        let mut covered = vec![false; f.order() as usize];
+        for s in 1..f.order() {
+            let coset = f.cyclotomic_coset(s);
+            assert!(coset.contains(&s));
+            // Size divides m.
+            assert_eq!(f.degree() % coset.len() as u32 % f.degree(), 0);
+            for &e in &coset {
+                covered[e as usize] = true;
+            }
+        }
+        assert!(covered[1..].iter().all(|&c| c));
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=14")]
+    fn unsupported_degree_rejected() {
+        let _ = GfField::new(20);
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_inverse_rejected() {
+        let f = GfField::new(4);
+        let _ = f.inv(0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Interleaved parity — one even-parity bit per 32-bit word.
+//!
+//! The Scrubbing baseline's storage layout attaches "BCH-8 and parity check
+//! per 32 bits" to each line (paper, Section V-C). The parity bits buy an
+//! extra detected error beyond the BCH designed distance and account for 16
+//! extra stored bits per 512-bit line in the density comparison of
+//! Figure 11.
+
+/// Parity codec over fixed-width interleaved groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleavedParity {
+    group_bits: usize,
+}
+
+impl InterleavedParity {
+    /// One parity bit per `group_bits`-bit group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_bits` is zero or not a multiple of 8.
+    pub fn new(group_bits: usize) -> Self {
+        assert!(
+            group_bits > 0 && group_bits.is_multiple_of(8),
+            "group size must be a positive multiple of 8, got {group_bits}"
+        );
+        Self { group_bits }
+    }
+
+    /// The paper's layout: parity per 32 bits.
+    pub fn per_u32() -> Self {
+        Self::new(32)
+    }
+
+    /// Bits per protected group.
+    pub fn group_bits(&self) -> usize {
+        self.group_bits
+    }
+
+    /// Number of parity bits for `data` (`data.len()·8 / group_bits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data does not divide into whole groups.
+    pub fn parity_len(&self, data_bytes: usize) -> usize {
+        assert!(
+            (data_bytes * 8).is_multiple_of(self.group_bits),
+            "data ({data_bytes} bytes) must divide into {}-bit groups",
+            self.group_bits
+        );
+        data_bytes * 8 / self.group_bits
+    }
+
+    /// Computes the parity bits (even parity), one per group, packed LSB
+    /// first into bytes.
+    ///
+    /// ```
+    /// use readduo_ecc::InterleavedParity;
+    /// let p = InterleavedParity::per_u32();
+    /// let parity = p.compute(&[0xFF, 0, 0, 0, 1, 0, 0, 0]);
+    /// // First group has 8 ones (even → 0), second has 1 (odd → 1).
+    /// assert_eq!(parity, vec![0b10]);
+    /// ```
+    pub fn compute(&self, data: &[u8]) -> Vec<u8> {
+        let groups = self.parity_len(data.len());
+        let bytes_per_group = self.group_bits / 8;
+        let mut out = vec![0u8; groups.div_ceil(8)];
+        for g in 0..groups {
+            let slice = &data[g * bytes_per_group..(g + 1) * bytes_per_group];
+            let ones: u32 = slice.iter().map(|b| b.count_ones()).sum();
+            if ones % 2 == 1 {
+                out[g / 8] |= 1 << (g % 8);
+            }
+        }
+        out
+    }
+
+    /// Checks stored parity against the data; returns indices of groups
+    /// whose parity mismatches.
+    pub fn check(&self, data: &[u8], parity: &[u8]) -> Vec<usize> {
+        let fresh = self.compute(data);
+        assert_eq!(
+            fresh.len(),
+            parity.len(),
+            "parity length mismatch: expected {} bytes",
+            fresh.len()
+        );
+        let groups = self.parity_len(data.len());
+        (0..groups)
+            .filter(|&g| {
+                let a = (fresh[g / 8] >> (g % 8)) & 1;
+                let b = (parity[g / 8] >> (g % 8)) & 1;
+                a != b
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_sizes() {
+        let p = InterleavedParity::per_u32();
+        assert_eq!(p.group_bits(), 32);
+        // 64-byte line → 16 parity bits.
+        assert_eq!(p.parity_len(64), 16);
+    }
+
+    #[test]
+    fn clean_check_is_empty() {
+        let p = InterleavedParity::per_u32();
+        let data: Vec<u8> = (0..64).collect();
+        let parity = p.compute(&data);
+        assert!(p.check(&data, &parity).is_empty());
+    }
+
+    #[test]
+    fn single_bit_flip_localised_to_group() {
+        let p = InterleavedParity::per_u32();
+        let data: Vec<u8> = (0..64).collect();
+        let parity = p.compute(&data);
+        let mut corrupted = data.clone();
+        corrupted[37] ^= 0x10; // byte 37 → group 9
+        assert_eq!(p.check(&corrupted, &parity), vec![9]);
+    }
+
+    #[test]
+    fn double_flip_same_group_is_invisible() {
+        // Parity's known blind spot — why it only supplements BCH.
+        let p = InterleavedParity::per_u32();
+        let data = vec![0u8; 8];
+        let parity = p.compute(&data);
+        let mut corrupted = data.clone();
+        corrupted[0] ^= 0b11;
+        assert!(p.check(&corrupted, &parity).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide into")]
+    fn ragged_data_rejected() {
+        let p = InterleavedParity::per_u32();
+        let _ = p.compute(&[0u8; 3]);
+    }
+}

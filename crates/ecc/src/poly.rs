@@ -1,0 +1,285 @@
+//! Binary polynomials (coefficients in GF(2)) for BCH generator
+//! construction and systematic LFSR encoding.
+
+use crate::gf::GfField;
+
+/// A polynomial over GF(2), little-endian bit representation (`bit i` is the
+/// coefficient of `x^i`).
+///
+/// ```
+/// use readduo_ecc::BinPoly;
+/// let a = BinPoly::from_coeffs(&[0, 1]);      // x
+/// let b = BinPoly::from_coeffs(&[0, 1, 3]);   // x³ + x + 1
+/// let p = a.mul(&b);                           // x⁴ + x² + x
+/// assert_eq!(p.degree(), Some(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinPoly {
+    /// Little-endian words of coefficients.
+    words: Vec<u64>,
+}
+
+impl BinPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { words: vec![] }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Self {
+        Self { words: vec![1] }
+    }
+
+    /// Builds a polynomial from the exponents with nonzero coefficients.
+    pub fn from_coeffs(exponents: &[u32]) -> Self {
+        let mut p = Self::zero();
+        for &e in exponents {
+            p.flip(e as usize);
+        }
+        p
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(wi * 64 + 63 - w.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Coefficient of `x^i`.
+    pub fn coeff(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    fn flip(&mut self, i: usize) {
+        if self.words.len() <= i / 64 {
+            self.words.resize(i / 64 + 1, 0);
+        }
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Polynomial addition (XOR).
+    pub fn add(&self, other: &BinPoly) -> BinPoly {
+        let n = self.words.len().max(other.words.len());
+        let mut words = vec![0u64; n];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0)
+                ^ other.words.get(i).copied().unwrap_or(0);
+        }
+        BinPoly { words }
+    }
+
+    /// Polynomial multiplication (carry-less, schoolbook over words).
+    pub fn mul(&self, other: &BinPoly) -> BinPoly {
+        let (da, db) = match (self.degree(), other.degree()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return BinPoly::zero(),
+        };
+        let mut out = BinPoly::zero();
+        out.words.resize((da + db) / 64 + 1, 0);
+        for i in 0..=da {
+            if self.coeff(i) {
+                // out ^= other << i
+                for j in 0..=db {
+                    if other.coeff(j) {
+                        out.flip(i + j);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Remainder of `self` modulo `divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn rem(&self, divisor: &BinPoly) -> BinPoly {
+        let dd = divisor.degree().expect("division by the zero polynomial");
+        let mut r = self.clone();
+        while let Some(dr) = r.degree() {
+            if dr < dd {
+                break;
+            }
+            let shift = dr - dd;
+            for j in 0..=dd {
+                if divisor.coeff(j) {
+                    r.flip(j + shift);
+                }
+            }
+        }
+        r
+    }
+
+    /// Evaluates the polynomial at the field element `x` in GF(2^m).
+    pub fn eval_in(&self, field: &GfField, x: u32) -> u32 {
+        let Some(d) = self.degree() else { return 0 };
+        // Horner from the top coefficient down.
+        let mut acc = 0u32;
+        for i in (0..=d).rev() {
+            acc = field.mul(acc, x);
+            if self.coeff(i) {
+                acc ^= 1;
+            }
+        }
+        acc
+    }
+
+    /// The minimal polynomial of `α^s` over GF(2): `∏ (x − α^c)` over the
+    /// cyclotomic coset of `s`. The product has binary coefficients.
+    pub fn minimal_polynomial(field: &GfField, s: u32) -> BinPoly {
+        let coset = field.cyclotomic_coset(s);
+        // Work with GF(2^m) coefficient vectors, then project to GF(2).
+        let mut coeffs: Vec<u32> = vec![1]; // polynomial "1"
+        for &e in &coset {
+            let root = field.alpha_pow(e as u64);
+            // coeffs *= (x + root)
+            let mut next = vec![0u32; coeffs.len() + 1];
+            for (i, &c) in coeffs.iter().enumerate() {
+                next[i + 1] ^= c; // times x
+                next[i] ^= field.mul(c, root); // times root
+            }
+            coeffs = next;
+        }
+        let mut p = BinPoly::zero();
+        for (i, &c) in coeffs.iter().enumerate() {
+            assert!(
+                c == 0 || c == 1,
+                "minimal polynomial must have binary coefficients, got {c:#x} at x^{i}"
+            );
+            if c == 1 {
+                p.flip(i);
+            }
+        }
+        p
+    }
+
+    /// The BCH generator polynomial for a `t`-error-correcting code over
+    /// `field`: `lcm` of the minimal polynomials of `α, α², …, α^{2t}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    pub fn bch_generator(field: &GfField, t: u32) -> BinPoly {
+        assert!(t > 0, "BCH correction capability must be positive");
+        let mut g = BinPoly::one();
+        let mut used: Vec<u32> = Vec::new(); // coset representatives already in g
+        for i in 1..=2 * t {
+            let coset = field.cyclotomic_coset(i);
+            let rep = *coset.iter().min().expect("coset is never empty");
+            if used.contains(&rep) {
+                continue;
+            }
+            used.push(rep);
+            g = g.mul(&BinPoly::minimal_polynomial(field, rep));
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_coeff() {
+        let p = BinPoly::from_coeffs(&[0, 5, 64, 130]);
+        assert_eq!(p.degree(), Some(130));
+        assert!(p.coeff(0) && p.coeff(5) && p.coeff(64) && p.coeff(130));
+        assert!(!p.coeff(1) && !p.coeff(131));
+        assert_eq!(BinPoly::zero().degree(), None);
+        assert_eq!(BinPoly::one().degree(), Some(0));
+    }
+
+    #[test]
+    fn add_is_xor() {
+        let a = BinPoly::from_coeffs(&[0, 1, 2]);
+        let b = BinPoly::from_coeffs(&[1, 3]);
+        let s = a.add(&b);
+        assert_eq!(s, BinPoly::from_coeffs(&[0, 2, 3]));
+        // a + a = 0 in GF(2)
+        assert_eq!(a.add(&a).degree(), None);
+    }
+
+    #[test]
+    fn mul_known_product() {
+        // (x + 1)(x² + x + 1) = x³ + 1 over GF(2).
+        let a = BinPoly::from_coeffs(&[0, 1]);
+        let b = BinPoly::from_coeffs(&[0, 1, 2]);
+        assert_eq!(a.mul(&b), BinPoly::from_coeffs(&[0, 3]));
+    }
+
+    #[test]
+    fn rem_basic() {
+        // x^4 + x + 1 mod (x^2 + 1): x^4 ≡ 1, so remainder = x.
+        let p = BinPoly::from_coeffs(&[0, 1, 4]);
+        let d = BinPoly::from_coeffs(&[0, 2]);
+        assert_eq!(p.rem(&d), BinPoly::from_coeffs(&[1]));
+        // Degree of remainder < degree of divisor always.
+        let r = BinPoly::from_coeffs(&[0, 3, 7, 12]).rem(&BinPoly::from_coeffs(&[0, 1, 5]));
+        assert!(r.degree().is_none_or(|dg| dg < 5));
+    }
+
+    #[test]
+    fn minimal_polynomial_of_alpha_is_primitive_poly() {
+        // For GF(2^4) with x^4 + x + 1, minpoly(α) is that polynomial.
+        let f = GfField::new(4);
+        let mp = BinPoly::minimal_polynomial(&f, 1);
+        assert_eq!(mp, BinPoly::from_coeffs(&[0, 1, 4]));
+    }
+
+    #[test]
+    fn minimal_polynomial_roots_vanish() {
+        let f = GfField::new(6);
+        for s in [1u32, 3, 5, 9] {
+            let mp = BinPoly::minimal_polynomial(&f, s);
+            for &e in &f.cyclotomic_coset(s) {
+                let root = f.alpha_pow(e as u64);
+                assert_eq!(mp.eval_in(&f, root), 0, "s={s}, root α^{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn bch15_generator_known_values() {
+        // Classic table: BCH(15, 7, t=2) generator = x^8+x^7+x^6+x^4+1.
+        let f = GfField::new(4);
+        let g2 = BinPoly::bch_generator(&f, 2);
+        assert_eq!(g2, BinPoly::from_coeffs(&[0, 4, 6, 7, 8]));
+        // BCH(15, 11, t=1): generator = primitive poly itself.
+        let g1 = BinPoly::bch_generator(&f, 1);
+        assert_eq!(g1, BinPoly::from_coeffs(&[0, 1, 4]));
+    }
+
+    #[test]
+    fn generator_vanishes_on_required_roots() {
+        let f = GfField::new(10);
+        let t = 8u32;
+        let g = BinPoly::bch_generator(&f, t);
+        for i in 1..=2 * t {
+            assert_eq!(
+                g.eval_in(&f, f.alpha_pow(i as u64)),
+                0,
+                "g(α^{i}) must vanish"
+            );
+        }
+        // Degree ≤ m·t = 80 (usually exactly 80 for these parameters).
+        assert!(g.degree().unwrap() <= 80);
+    }
+
+    #[test]
+    fn eval_in_field() {
+        let f = GfField::new(4);
+        // p(x) = x² + x: p(α) = α² ^ α.
+        let p = BinPoly::from_coeffs(&[1, 2]);
+        let a = f.alpha_pow(1);
+        assert_eq!(p.eval_in(&f, a), f.mul(a, a) ^ a);
+        assert_eq!(BinPoly::zero().eval_in(&f, a), 0);
+    }
+}

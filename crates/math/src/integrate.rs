@@ -1,0 +1,227 @@
+//! Numerical quadrature.
+//!
+//! The analytic per-cell drift error probability integrates a normal density
+//! over the drift coefficient α against a truncated-normal tail in the
+//! initial resistance (see `readduo-reliability::cellprob`). The integrand is
+//! smooth, so fixed-order Gauss–Legendre on `μα ± 10σα` converges to machine
+//! precision; adaptive Simpson is kept as an independent cross-check used in
+//! tests.
+
+/// Precomputed Gauss–Legendre nodes/weights on `[-1, 1]`.
+///
+/// Nodes are found by Newton iteration on the Legendre polynomial — no
+/// tables, any order.
+#[derive(Debug, Clone)]
+pub struct GaussLegendre {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Builds an `n`-point rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// ```
+    /// use readduo_math::GaussLegendre;
+    /// let rule = GaussLegendre::new(16);
+    /// // ∫_0^1 x² dx = 1/3
+    /// let v = rule.integrate(0.0, 1.0, |x| x * x);
+    /// assert!((v - 1.0 / 3.0).abs() < 1e-14);
+    /// ```
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Gauss-Legendre order must be positive");
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Chebyshev-based initial guess for the i-th root.
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut pp = 0.0;
+            for _ in 0..100 {
+                // Evaluate P_n(x) and its derivative by recurrence.
+                let mut p0 = 1.0f64;
+                let mut p1 = 0.0f64;
+                for j in 0..n {
+                    let p2 = p1;
+                    p1 = p0;
+                    p0 = ((2.0 * j as f64 + 1.0) * x * p1 - j as f64 * p2) / (j as f64 + 1.0);
+                }
+                pp = n as f64 * (x * p0 - p1) / (x * x - 1.0);
+                let dx = p0 / pp;
+                x -= dx;
+                if dx.abs() < 1e-16 {
+                    break;
+                }
+            }
+            nodes[i] = -x;
+            nodes[n - 1 - i] = x;
+            let w = 2.0 / ((1.0 - x * x) * pp * pp);
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        Self { nodes, weights }
+    }
+
+    /// Number of points in the rule.
+    pub fn order(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Integrates `f` over `[a, b]`.
+    pub fn integrate<F: FnMut(f64) -> f64>(&self, a: f64, b: f64, mut f: F) -> f64 {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        let mut sum = 0.0;
+        for (&x, &w) in self.nodes.iter().zip(&self.weights) {
+            sum += w * f(mid + half * x);
+        }
+        sum * half
+    }
+
+    /// Integrates over `[a, b]` split into `panels` equal sub-intervals —
+    /// useful when the integrand has a localised feature.
+    pub fn integrate_panels<F: FnMut(f64) -> f64>(
+        &self,
+        a: f64,
+        b: f64,
+        panels: usize,
+        mut f: F,
+    ) -> f64 {
+        assert!(panels > 0, "panel count must be positive");
+        let width = (b - a) / panels as f64;
+        (0..panels)
+            .map(|i| {
+                let lo = a + i as f64 * width;
+                self.integrate(lo, lo + width, &mut f)
+            })
+            .sum()
+    }
+}
+
+/// One-shot Gauss–Legendre convenience with a 64-point rule.
+pub fn gauss_legendre<F: FnMut(f64) -> f64>(a: f64, b: f64, f: F) -> f64 {
+    GaussLegendre::new(64).integrate(a, b, f)
+}
+
+/// Adaptive Simpson quadrature to absolute tolerance `tol`.
+///
+/// ```
+/// use readduo_math::adaptive_simpson;
+/// let v = adaptive_simpson(0.0, std::f64::consts::PI, 1e-12, |x| x.sin());
+/// assert!((v - 2.0).abs() < 1e-10);
+/// ```
+pub fn adaptive_simpson<F: FnMut(f64) -> f64>(a: f64, b: f64, tol: f64, mut f: F) -> f64 {
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson(a, b, fa, fm, fb);
+    simpson_recurse(&mut f, a, b, fa, fm, fb, whole, tol, 50)
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simpson_recurse<F: FnMut(f64) -> f64>(
+    f: &mut F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        simpson_recurse(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+            + simpson_recurse(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gl_exact_for_polynomials_up_to_2n_minus_1() {
+        // A 4-point rule integrates degree-7 polynomials exactly.
+        let rule = GaussLegendre::new(4);
+        let v = rule.integrate(-1.0, 2.0, |x| {
+            7.0 * x.powi(7) - 3.0 * x.powi(5) + x.powi(2) - 4.0
+        });
+        // Analytic: 7/8 x^8 - 1/2 x^6 + 1/3 x^3 - 4x on [-1,2]
+        let anti = |x: f64| 7.0 / 8.0 * x.powi(8) - 0.5 * x.powi(6) + x.powi(3) / 3.0 - 4.0 * x;
+        let want = anti(2.0) - anti(-1.0);
+        assert!((v - want).abs() < 1e-11, "got {v}, want {want}");
+    }
+
+    #[test]
+    fn gl_gaussian_integral() {
+        // ∫_{-8}^{8} e^{-x²/2} dx ≈ sqrt(2π)
+        let rule = GaussLegendre::new(64);
+        let v = rule.integrate(-8.0, 8.0, |x| (-0.5 * x * x).exp());
+        let want = (2.0 * std::f64::consts::PI).sqrt();
+        assert!((v - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gl_weights_sum_to_two() {
+        for n in [1, 2, 5, 17, 64, 101] {
+            let rule = GaussLegendre::new(n);
+            let s: f64 = rule.weights.iter().sum();
+            assert!((s - 2.0).abs() < 1e-12, "n={n} sum={s}");
+            assert_eq!(rule.order(), n);
+        }
+    }
+
+    #[test]
+    fn gl_nodes_symmetric_and_sorted() {
+        let rule = GaussLegendre::new(33);
+        for w in rule.nodes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for i in 0..rule.nodes.len() {
+            let j = rule.nodes.len() - 1 - i;
+            assert!((rule.nodes[i] + rule.nodes[j]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn panels_match_single_shot_for_smooth_integrand() {
+        let rule = GaussLegendre::new(32);
+        let f = |x: f64| (-0.3 * x).exp() * x.cos() / (1.0 + x);
+        let a = rule.integrate(0.0, 10.0, f);
+        let b = rule.integrate_panels(0.0, 10.0, 8, f);
+        assert!(((a - b) / b).abs() < 1e-9, "a={a} b={b}");
+    }
+
+    #[test]
+    fn simpson_agrees_with_gl() {
+        let f = |x: f64| (-x * x).exp() * (3.0 * x).cos();
+        let gl = gauss_legendre(-5.0, 5.0, f);
+        let si = adaptive_simpson(-5.0, 5.0, 1e-13, f);
+        assert!((gl - si).abs() < 1e-10, "gl={gl} simpson={si}");
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be positive")]
+    fn zero_order_rejected() {
+        let _ = GaussLegendre::new(0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Log-space probability arithmetic.
+//!
+//! The paper's Table III/IV report line error rates down to ~1e-15 and
+//! dismiss smaller values as "too small". Internally those come from binomial
+//! tails whose individual terms underflow `f64` long before the sums do, so
+//! every probability in the reliability engine is carried as a natural-log
+//! value wrapped in [`LogProb`].
+
+/// A probability stored as its natural logarithm.
+///
+/// `LogProb::ZERO` represents probability 0 (`-inf` in log space) and
+/// `LogProb::ONE` probability 1 (log 0).
+///
+/// ```
+/// use readduo_math::LogProb;
+/// let half = LogProb::from_prob(0.5);
+/// let quarter = half * half;
+/// assert!((quarter.to_prob() - 0.25).abs() < 1e-15);
+/// let three_quarters = half + quarter;
+/// assert!((three_quarters.to_prob() - 0.75).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct LogProb(f64);
+
+impl LogProb {
+    /// Probability zero.
+    pub const ZERO: LogProb = LogProb(f64::NEG_INFINITY);
+    /// Probability one.
+    pub const ONE: LogProb = LogProb(0.0);
+
+    /// Wraps a natural-log probability value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ln_p` is NaN or positive (probability > 1).
+    pub fn new(ln_p: f64) -> Self {
+        assert!(!ln_p.is_nan(), "log-probability must not be NaN");
+        assert!(
+            ln_p <= 1e-12,
+            "log-probability must be <= 0 (probability <= 1), got {ln_p}"
+        );
+        LogProb(ln_p.min(0.0))
+    }
+
+    /// Converts a linear probability in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn from_prob(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+        LogProb(p.ln())
+    }
+
+    /// The raw natural log.
+    pub fn ln(self) -> f64 {
+        self.0
+    }
+
+    /// Converts back to a linear probability (may underflow to 0).
+    pub fn to_prob(self) -> f64 {
+        self.0.exp()
+    }
+
+    /// `log10` of the probability — the unit the paper's tables use.
+    pub fn log10(self) -> f64 {
+        self.0 / std::f64::consts::LN_10
+    }
+
+    /// Is this exactly probability zero?
+    pub fn is_zero(self) -> bool {
+        self.0 == f64::NEG_INFINITY
+    }
+
+    /// The complement `1 - p`, computed stably.
+    ///
+    /// ```
+    /// use readduo_math::LogProb;
+    /// let tiny = LogProb::new(-50.0);
+    /// let c = tiny.complement();
+    /// assert!(c.ln() < 0.0 && c.ln() > -1e-20);
+    /// ```
+    pub fn complement(self) -> Self {
+        if self.is_zero() {
+            return LogProb::ONE;
+        }
+        if self.0 == 0.0 {
+            return LogProb::ZERO;
+        }
+        LogProb(log1mexp(self.0))
+    }
+
+    /// Raises the probability to an integer power (independent events).
+    pub fn powi(self, n: u32) -> Self {
+        if n == 0 {
+            return LogProb::ONE;
+        }
+        LogProb(self.0 * n as f64)
+    }
+
+    /// Maximum of two probabilities.
+    pub fn max(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl std::ops::Mul for LogProb {
+    type Output = LogProb;
+    /// Product of probabilities = sum of logs.
+    fn mul(self, rhs: Self) -> Self {
+        if self.is_zero() || rhs.is_zero() {
+            return LogProb::ZERO;
+        }
+        LogProb(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Add for LogProb {
+    type Output = LogProb;
+    /// Sum of (disjoint-event) probabilities via log-sum-exp.
+    fn add(self, rhs: Self) -> Self {
+        LogProb(log_add_exp(self.0, rhs.0).min(0.0))
+    }
+}
+
+impl std::iter::Sum for LogProb {
+    fn sum<I: Iterator<Item = LogProb>>(iter: I) -> Self {
+        let mut acc = LogProb::ZERO;
+        for x in iter {
+            acc = acc + x;
+        }
+        acc
+    }
+}
+
+impl std::fmt::Display for LogProb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            write!(f, "0")
+        } else if self.0 > -700.0 {
+            write!(f, "{:.2e}", self.to_prob())
+        } else {
+            write!(f, "1e{:.1}", self.log10())
+        }
+    }
+}
+
+/// `ln(e^a + e^b)` without overflow.
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// `ln(Σ e^{x_i})` over a slice, without overflow.
+///
+/// ```
+/// use readduo_math::log_sum_exp;
+/// let v = log_sum_exp(&[-1000.0, -1000.0]);
+/// assert!((v - (-1000.0 + std::f64::consts::LN_2)).abs() < 1e-12);
+/// ```
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if hi == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - hi).exp()).sum();
+    hi + sum.ln()
+}
+
+/// `ln(1 - e^x)` for `x <= 0`, stable near both ends.
+///
+/// # Panics
+///
+/// Panics if `x > 0`.
+pub fn log1mexp(x: f64) -> f64 {
+    assert!(x <= 0.0, "log1mexp requires x <= 0, got {x}");
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    // Mächler's recipe: switch branches at ln 2 for accuracy.
+    if x > -std::f64::consts::LN_2 {
+        (-x.exp_m1()).ln()
+    } else {
+        (-x.exp()).ln_1p()
+    }
+}
+
+/// `ln(n!)` via Lanczos-free Stirling series with exact small values.
+///
+/// ```
+/// use readduo_math::ln_factorial;
+/// assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_factorial(n: u64) -> f64 {
+    // Exact table for small n keeps the binomial coefficients of short codes
+    // bit-accurate.
+    const TABLE_LEN: usize = 32;
+    static TABLE: std::sync::OnceLock<[f64; TABLE_LEN]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0.0f64; TABLE_LEN];
+        let mut acc = 0.0f64;
+        for (i, slot) in t.iter_mut().enumerate() {
+            if i > 0 {
+                acc += (i as f64).ln();
+            }
+            *slot = acc;
+        }
+        t
+    });
+    if (n as usize) < TABLE_LEN {
+        return table[n as usize];
+    }
+    // Stirling with correction terms: accurate to <1e-12 for n >= 32.
+    let n = n as f64;
+    n * n.ln() - n + 0.5 * (2.0 * std::f64::consts::PI * n).ln() + 1.0 / (12.0 * n)
+        - 1.0 / (360.0 * n * n * n)
+}
+
+/// `ln C(n, k)`, the log binomial coefficient.
+///
+/// Returns `-inf` when `k > n`.
+///
+/// ```
+/// use readduo_math::ln_choose;
+/// assert!((ln_choose(10, 3) - 120f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logprob_round_trip() {
+        for p in [0.0, 1e-300, 1e-10, 0.5, 0.999, 1.0] {
+            let lp = LogProb::from_prob(p);
+            // Relative round-trip accuracy; ln/exp near the subnormal range
+            // loses a few ulps, which is irrelevant at these magnitudes.
+            assert!((lp.to_prob() - p).abs() <= 1e-12 * p);
+        }
+    }
+
+    #[test]
+    fn complement_is_involutive_in_mid_range() {
+        let p = LogProb::from_prob(0.3);
+        let back = p.complement().complement();
+        assert!((back.to_prob() - 0.3).abs() < 1e-14);
+    }
+
+    #[test]
+    fn complement_of_tiny_is_near_one() {
+        let p = LogProb::new(-1e6);
+        assert_eq!(p.complement().ln(), 0.0 - 0.0); // -e^{-1e6} rounds to -0.0
+    }
+
+    #[test]
+    fn add_handles_deep_underflow() {
+        let a = LogProb::new(-2000.0);
+        let b = LogProb::new(-2000.0);
+        let s = a + b;
+        assert!((s.ln() - (-2000.0 + std::f64::consts::LN_2)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mul_is_log_add() {
+        let a = LogProb::from_prob(0.25);
+        let b = LogProb::from_prob(0.5);
+        assert!(((a * b).to_prob() - 0.125).abs() < 1e-15);
+        assert!((a * LogProb::ZERO).is_zero());
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let parts = [0.1, 0.2, 0.3].map(LogProb::from_prob);
+        let total: LogProb = parts.into_iter().sum();
+        assert!((total.to_prob() - 0.6).abs() < 1e-14);
+    }
+
+    #[test]
+    fn log1mexp_branches_agree_at_crossover() {
+        let x = -std::f64::consts::LN_2;
+        let a = log1mexp(x - 1e-12);
+        let b = log1mexp(x + 1e-12);
+        assert!((a - b).abs() < 1e-9);
+        // 1 - e^{-ln 2} = 1/2
+        assert!((log1mexp(x) - 0.5f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_factorial_exact_region_and_stirling_join() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(10) - 3628800f64.ln()).abs() < 1e-11);
+        // Continuity across the table/Stirling boundary at 32.
+        let d31 = ln_factorial(32) - ln_factorial(31);
+        assert!((d31 - 32f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_matches_exact_values() {
+        assert!((ln_choose(10, 3) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(52, 5) - 2598960f64.ln()).abs() < 1e-10);
+        assert_eq!(ln_choose(5, 6), f64::NEG_INFINITY);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_and_all_zero() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "log1mexp")]
+    fn log1mexp_rejects_positive() {
+        let _ = log1mexp(0.1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", LogProb::ZERO), "0");
+        assert_eq!(format!("{}", LogProb::from_prob(0.5)), "5.00e-1");
+    }
+}

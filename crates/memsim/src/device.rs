@@ -1,0 +1,201 @@
+//! The device-model interface between the simulator and the readout
+//! schemes.
+//!
+//! `readduo-memsim` knows about queues, banks and buses; it does **not**
+//! know how a line is sensed or when a scheme decides to rewrite it. Each
+//! scheme (Ideal, Scrubbing, M-metric, ReadDuo-Hybrid/LWT/Select — see
+//! `readduo-core`) implements [`DeviceModel`]; the engine calls it with the
+//! line address and the current simulated wall-clock time in seconds and
+//! obeys the returned latencies.
+
+/// Which read mode serviced a request (Figure 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadMode {
+    /// Fast current-mode sensing, 150 ns.
+    RRead,
+    /// Drift-resilient voltage-mode sensing, 450 ns.
+    MRead,
+    /// Failed R-sensing retried with M-sensing, 600 ns.
+    RmRead,
+}
+
+/// What a read did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadOutcome {
+    /// Device busy time, ns (excludes bus and queueing).
+    pub latency_ns: u64,
+    /// Which sensing path ran.
+    pub mode: ReadMode,
+    /// Dynamic energy, pJ.
+    pub energy_pj: f64,
+    /// A redundant write scheduled after the read (ReadDuo-LWT's R-M-read
+    /// conversion); queued on the bank like a demand write.
+    pub conversion: Option<WriteOutcome>,
+    /// The read hit a line with no tracked write in the last scrub interval
+    /// (the `P%` the dynamic-T controller monitors).
+    pub untracked: bool,
+    /// Drift errors the sensing observed (ground truth from the model).
+    pub drift_errors: u32,
+}
+
+/// What a write did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteOutcome {
+    /// Device busy time, ns.
+    pub latency_ns: u64,
+    /// MLC cells actually programmed (256 for a full-line write; fewer for
+    /// a differential write).
+    pub cells_written: u32,
+    /// SLC flag bits written (LWT bookkeeping).
+    pub slc_bits_written: u32,
+    /// Dynamic energy, pJ.
+    pub energy_pj: f64,
+}
+
+/// What a scrub visit did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrubOutcome {
+    /// Scrub read (scan) busy time, ns.
+    pub read_latency_ns: u64,
+    /// Scan energy, pJ.
+    pub read_energy_pj: f64,
+    /// Rewrite ordered by the scrub policy, if any.
+    pub rewrite: Option<WriteOutcome>,
+}
+
+/// A per-scheme PCM device behaviour.
+///
+/// Implementations are stateful: they track per-line last-write times, LWT
+/// flags, controller state and RNG streams. All callbacks receive the
+/// simulated time in **seconds** (the drift model's natural unit).
+pub trait DeviceModel {
+    /// Services a demand read of `line` at time `now_s`.
+    fn on_read(&mut self, line: u64, now_s: f64) -> ReadOutcome;
+
+    /// Services a demand write of `line` at time `now_s`.
+    fn on_write(&mut self, line: u64, now_s: f64) -> WriteOutcome;
+
+    /// Visits `line` during scrubbing at time `now_s`.
+    fn on_scrub(&mut self, line: u64, now_s: f64) -> ScrubOutcome;
+
+    /// Scrub interval `S` in seconds, or `None` when the scheme does not
+    /// scrub (Ideal, TLC).
+    fn scrub_interval_s(&self) -> Option<f64>;
+}
+
+/// A drift-free device with fixed latencies: the **Ideal** baseline and the
+/// engine-test stub.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLatencyDevice {
+    read_ns: u64,
+    write_ns: u64,
+    cells_per_write: u32,
+    energy: crate::config::EnergyModel,
+    scrub_s: Option<f64>,
+    scrub_rewrites: bool,
+}
+
+impl FixedLatencyDevice {
+    /// The Ideal scheme: drift-free MLC, R-read latency, no scrubbing.
+    ///
+    /// Writes program 296 cells (512 data + 80 BCH-8 parity bits): the
+    /// Ideal baseline stores the same ECC layout as the drift-mitigation
+    /// schemes — it is ideal in *drift*, not in storage format — so
+    /// lifetime and energy normalisations compare like with like.
+    pub fn ideal() -> Self {
+        Self {
+            read_ns: 150,
+            write_ns: 1000,
+            cells_per_write: 296,
+            energy: crate::config::EnergyModel::paper(),
+            scrub_s: None,
+            scrub_rewrites: false,
+        }
+    }
+
+    /// A stub with explicit latencies (engine tests); writes 256 cells.
+    pub fn with_latencies(read_ns: u64, write_ns: u64) -> Self {
+        Self {
+            read_ns,
+            write_ns,
+            cells_per_write: 256,
+            energy: crate::config::EnergyModel::paper(),
+            scrub_s: None,
+            scrub_rewrites: false,
+        }
+    }
+
+    /// Adds a scrub cadence (tests of the scrub engine); `rewrite` forces a
+    /// full-line rewrite on every visit (a W=0-style worst case).
+    pub fn with_scrub(mut self, interval_s: f64, rewrite: bool) -> Self {
+        self.scrub_s = Some(interval_s);
+        self.scrub_rewrites = rewrite;
+        self
+    }
+}
+
+impl DeviceModel for FixedLatencyDevice {
+    fn on_read(&mut self, _line: u64, _now_s: f64) -> ReadOutcome {
+        ReadOutcome {
+            latency_ns: self.read_ns,
+            mode: ReadMode::RRead,
+            energy_pj: self.energy.r_read_pj,
+            conversion: None,
+            untracked: false,
+            drift_errors: 0,
+        }
+    }
+
+    fn on_write(&mut self, _line: u64, _now_s: f64) -> WriteOutcome {
+        WriteOutcome {
+            latency_ns: self.write_ns,
+            cells_written: self.cells_per_write,
+            slc_bits_written: 0,
+            energy_pj: self.cells_per_write as f64 * self.energy.write_cell_pj,
+        }
+    }
+
+    fn on_scrub(&mut self, _line: u64, _now_s: f64) -> ScrubOutcome {
+        ScrubOutcome {
+            read_latency_ns: self.read_ns,
+            read_energy_pj: self.energy.r_read_pj,
+            rewrite: self.scrub_rewrites.then_some(WriteOutcome {
+                latency_ns: self.write_ns,
+                cells_written: self.cells_per_write,
+                slc_bits_written: 0,
+                energy_pj: self.cells_per_write as f64 * self.energy.write_cell_pj,
+            }),
+        }
+    }
+
+    fn scrub_interval_s(&self) -> Option<f64> {
+        self.scrub_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_device_is_drift_free() {
+        let mut d = FixedLatencyDevice::ideal();
+        let r = d.on_read(42, 1e6);
+        assert_eq!(r.latency_ns, 150);
+        assert_eq!(r.mode, ReadMode::RRead);
+        assert_eq!(r.drift_errors, 0);
+        assert!(r.conversion.is_none());
+        assert_eq!(d.scrub_interval_s(), None);
+    }
+
+    #[test]
+    fn scrub_stub_rewrites_when_asked() {
+        let mut d = FixedLatencyDevice::with_latencies(100, 900).with_scrub(8.0, true);
+        assert_eq!(d.scrub_interval_s(), Some(8.0));
+        let s = d.on_scrub(7, 0.0);
+        assert_eq!(s.read_latency_ns, 100);
+        let rw = s.rewrite.expect("rewrite forced");
+        assert_eq!(rw.latency_ns, 900);
+        assert_eq!(rw.cells_written, 256);
+    }
+}

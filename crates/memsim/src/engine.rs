@@ -1,0 +1,559 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::config::MemoryConfig;
+use crate::device::{DeviceModel, WriteOutcome};
+use crate::stats::SimReport;
+use readduo_trace::{OpKind, Trace};
+
+/// Origin of a queued write job (for energy/lifetime attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteSource {
+    Demand,
+    Conversion,
+}
+
+/// A write sitting in (or executing from) a bank's write queue.
+#[derive(Debug, Clone, Copy)]
+struct WriteJob {
+    outcome: WriteOutcome,
+    source: WriteSource,
+}
+
+#[derive(Debug, Default)]
+struct Bank {
+    /// Time until which the bank array is occupied.
+    busy_until: u64,
+    /// The demand/conversion write currently executing, if any (the only
+    /// cancellable occupancy).
+    executing_write: Option<WriteJob>,
+    /// Pending writes.
+    queue: VecDeque<WriteJob>,
+    /// Cores stalled because the queue was full.
+    waiters: VecDeque<usize>,
+    /// Next line (bank-local index) the scrub register points at.
+    scrub_ptr: u64,
+    /// Dedupe guard for scheduled kick events.
+    kick_scheduled_at: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A core is ready to issue its next trace op.
+    CoreIssue(usize),
+    /// A bank should try to start a queued write.
+    BankKick(usize),
+    /// The scrub engine visits the next line of a bank.
+    ScrubTick(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The trace-driven simulator.
+///
+/// One `Simulator` instance can run many traces; per-run state lives on the
+/// stack of [`run`].
+///
+/// [`run`]: Simulator::run
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: MemoryConfig,
+}
+
+struct Run<'a, D: DeviceModel + ?Sized> {
+    cfg: MemoryConfig,
+    device: &'a mut D,
+    trace: &'a Trace,
+    banks: Vec<Bank>,
+    /// Next stream index per core.
+    cursor: Vec<usize>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    bus_busy_until: u64,
+    report: SimReport,
+    scrub_period_ns: Option<u64>,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: MemoryConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Runs `trace` against `device` and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has more cores than the configuration.
+    pub fn run<D: DeviceModel + ?Sized>(&self, trace: &Trace, device: &mut D) -> SimReport {
+        assert!(
+            trace.cores() <= self.config.cores,
+            "trace has {} cores but the machine only {}",
+            trace.cores(),
+            self.config.cores
+        );
+        let run = Run {
+            cfg: self.config,
+            device,
+            trace,
+            banks: (0..self.config.banks).map(|_| Bank::default()).collect(),
+            cursor: vec![0; trace.cores()],
+            heap: BinaryHeap::new(),
+            seq: 0,
+            bus_busy_until: 0,
+            report: SimReport::default(),
+            scrub_period_ns: None,
+        };
+        run.execute()
+    }
+}
+
+impl<D: DeviceModel + ?Sized> Run<'_, D> {
+    fn execute(mut self) -> SimReport {
+        // Seed core events.
+        let cycle = self.cfg.cycle_ns();
+        for core in 0..self.trace.cores() {
+            if let Some(op) = self.trace.stream(core).first() {
+                let at = (op.icount as f64 * cycle) as u64;
+                self.push(at, EventKind::CoreIssue(core));
+            }
+        }
+        // Seed scrub engines, phase-staggered across banks so ticks do not
+        // synchronise.
+        if let Some(s) = self.device.scrub_interval_s() {
+            let period = (s * 1e9 / self.cfg.lines_per_bank as f64).max(1.0) as u64;
+            self.scrub_period_ns = Some(period.max(1));
+            for b in 0..self.cfg.banks {
+                // Stagger tick phases so banks do not scrub in lockstep,
+                // and scatter each bank's scrub register across its lines:
+                // a short simulated window must sample the *whole* bank's
+                // line population (mostly data outside the workload's
+                // footprint), not the first few kilobytes.
+                let phase = period * b as u64 / self.cfg.banks as u64;
+                self.banks[b].scrub_ptr = (b as u64 + 1)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    % self.cfg.lines_per_bank;
+                self.push(phase, EventKind::ScrubTick(b));
+            }
+        }
+        let mut exec_end = 0u64;
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            match ev.kind {
+                EventKind::CoreIssue(core) => {
+                    let done = self.core_issue(core, ev.at);
+                    exec_end = exec_end.max(done);
+                }
+                EventKind::BankKick(b) => self.bank_kick(b, ev.at),
+                EventKind::ScrubTick(b) => {
+                    // Once all cores drained, stop re-arming scrub ticks so
+                    // the run terminates; pending bank kicks still drain the
+                    // write queues for faithful energy/lifetime accounting.
+                    if self.cores_done() {
+                        continue;
+                    }
+                    self.scrub_tick(b, ev.at);
+                }
+            }
+        }
+        self.report.exec_ns = exec_end;
+        self.report
+    }
+
+    fn cores_done(&self) -> bool {
+        (0..self.trace.cores()).all(|c| self.cursor[c] >= self.trace.stream(c).len())
+    }
+
+    fn push(&mut self, at: u64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event { at, seq: self.seq, kind }));
+    }
+
+    fn secs(&self, ns: u64) -> f64 {
+        ns as f64 * 1e-9
+    }
+
+    /// Issues one op for `core` at time `now`; returns the core-visible
+    /// completion time of this op.
+    fn core_issue(&mut self, core: usize, now: u64) -> u64 {
+        let idx = self.cursor[core];
+        let op = self.trace.stream(core)[idx];
+        let b = self.cfg.bank_of(op.line);
+        match op.kind {
+            OpKind::Read => {
+                // Write cancellation: pre-empt an executing demand write.
+                if self.cfg.write_cancellation {
+                    let bank = &mut self.banks[b];
+                    if bank.busy_until > now {
+                        if let Some(job) = bank.executing_write.take() {
+                            bank.queue.push_front(job);
+                            bank.busy_until = now + self.cfg.cancel_penalty_ns;
+                            self.report.write_cancellations += 1;
+                        }
+                    }
+                }
+                let start = now.max(self.banks[b].busy_until);
+                let out = self.device.on_read(op.line, self.secs(start));
+                let array_done = start + out.latency_ns;
+                let bus_start = array_done.max(self.bus_busy_until);
+                let done = bus_start + self.cfg.bus_ns;
+                self.bus_busy_until = done;
+                self.banks[b].busy_until = done;
+                self.banks[b].executing_write = None;
+                self.report.reads += 1;
+                self.report.record_read_mode(out.mode);
+                self.report.read_latency.record(done - now);
+                self.report.energy_read_pj += out.energy_pj;
+                self.report.drift_errors_seen += out.drift_errors as u64;
+                if out.untracked {
+                    self.report.untracked_reads += 1;
+                }
+                if let Some(cw) = out.conversion {
+                    self.report.conversions += 1;
+                    // Conversion writes bypass the queue-capacity stall (the
+                    // controller owns them) but share the queue.
+                    self.banks[b].queue.push_back(WriteJob {
+                        outcome: cw,
+                        source: WriteSource::Conversion,
+                    });
+                }
+                self.schedule_kick(b, done);
+                self.advance_core(core, done)
+            }
+            OpKind::Write => {
+                if self.banks[b].queue.len() >= self.cfg.write_queue_cap {
+                    // Stall: retry when the bank drains a slot.
+                    self.banks[b].waiters.push_back(core);
+                    let retry = self.banks[b].busy_until.max(now + 1);
+                    self.schedule_kick(b, retry);
+                    // Do NOT advance the cursor; the core reissues this op
+                    // when woken (via CoreIssue pushed by bank_kick).
+                    return now;
+                }
+                let out = self.device.on_write(op.line, self.secs(now));
+                self.report.writes += 1;
+                self.report.energy_write_pj += out.energy_pj;
+                self.report.cells_written_demand += out.cells_written as u64;
+                self.report.slc_bits_written += out.slc_bits_written as u64;
+                self.banks[b].queue.push_back(WriteJob {
+                    outcome: out,
+                    source: WriteSource::Demand,
+                });
+                self.schedule_kick(b, now.max(self.banks[b].busy_until));
+                // Posted write: the core moves on immediately.
+                self.advance_core(core, now)
+            }
+        }
+    }
+
+    /// Advances `core` past its current op (completed at `done`) and
+    /// schedules its next issue. Returns the completion time.
+    fn advance_core(&mut self, core: usize, done: u64) -> u64 {
+        let idx = self.cursor[core];
+        self.cursor[core] = idx + 1;
+        let stream = self.trace.stream(core);
+        if let Some(next) = stream.get(idx + 1) {
+            let delta_instr = next.icount - stream[idx].icount;
+            let at = done + (delta_instr as f64 * self.cfg.cycle_ns()) as u64;
+            self.push(at, EventKind::CoreIssue(core));
+        }
+        done
+    }
+
+    fn schedule_kick(&mut self, b: usize, at: u64) {
+        match self.banks[b].kick_scheduled_at {
+            Some(t) if t <= at => {}
+            _ => {
+                self.banks[b].kick_scheduled_at = Some(at);
+                self.push(at, EventKind::BankKick(b));
+            }
+        }
+    }
+
+    /// Tries to start a queued write on bank `b`.
+    fn bank_kick(&mut self, b: usize, now: u64) {
+        self.banks[b].kick_scheduled_at = None;
+        if self.banks[b].busy_until > now {
+            if !self.banks[b].queue.is_empty() {
+                let at = self.banks[b].busy_until;
+                self.schedule_kick(b, at);
+            }
+            return;
+        }
+        self.banks[b].executing_write = None;
+        if let Some(job) = self.banks[b].queue.pop_front() {
+            let start = now.max(self.bus_busy_until);
+            // Data moves over the bus into the device, then the array
+            // programs.
+            self.bus_busy_until = start + self.cfg.bus_ns;
+            let done = start + self.cfg.bus_ns + job.outcome.latency_ns;
+            self.banks[b].busy_until = done;
+            self.banks[b].executing_write = Some(job);
+            match job.source {
+                WriteSource::Demand => {}
+                WriteSource::Conversion => {
+                    self.report.energy_conversion_pj += job.outcome.energy_pj;
+                    self.report.cells_written_conversion += job.outcome.cells_written as u64;
+                    self.report.slc_bits_written += job.outcome.slc_bits_written as u64;
+                }
+            }
+            // Wake one stalled core now that a queue slot freed.
+            if let Some(core) = self.banks[b].waiters.pop_front() {
+                self.push(now, EventKind::CoreIssue(core));
+            }
+            self.schedule_kick(b, done);
+        }
+    }
+
+    /// One scrub-engine visit on bank `b`.
+    fn scrub_tick(&mut self, b: usize, now: u64) {
+        let period = self.scrub_period_ns.expect("scrub tick without interval");
+        // Always re-arm first so cadence is stable.
+        self.push(now + period, EventKind::ScrubTick(b));
+        let backlog_limit = self.cfg.scrub_backlog_limit_ns;
+        if self.banks[b].busy_until > now + backlog_limit {
+            // The bank cannot keep up; defer this line (it will be visited
+            // a whole interval later — a reliability debt the paper's W=0
+            // Scrubbing configuration is precisely criticised for).
+            self.report.scrubs_skipped += 1;
+            return;
+        }
+        let local = self.banks[b].scrub_ptr;
+        self.banks[b].scrub_ptr = (local + 1) % self.cfg.lines_per_bank;
+        let line = local * self.cfg.banks as u64 + b as u64;
+        let start = now.max(self.banks[b].busy_until);
+        let out = self.device.on_scrub(line, self.secs(start));
+        let mut dur = out.read_latency_ns;
+        self.report.scrubs += 1;
+        self.report.energy_scrub_pj += out.read_energy_pj;
+        if let Some(rw) = out.rewrite {
+            dur += rw.latency_ns;
+            self.report.scrub_rewrites += 1;
+            self.report.energy_scrub_pj += rw.energy_pj;
+            self.report.cells_written_scrub += rw.cells_written as u64;
+            self.report.slc_bits_written += rw.slc_bits_written as u64;
+        }
+        self.banks[b].busy_until = start + dur;
+        self.banks[b].executing_write = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryConfig;
+    use crate::device::{FixedLatencyDevice, ReadMode, ReadOutcome, ScrubOutcome, WriteOutcome};
+    use readduo_trace::{MemOp, OpKind, Trace};
+
+    fn cfg() -> MemoryConfig {
+        MemoryConfig::small_test()
+    }
+
+    fn read(icount: u64, line: u64) -> MemOp {
+        MemOp { icount, line, kind: OpKind::Read }
+    }
+
+    fn write(icount: u64, line: u64) -> MemOp {
+        MemOp { icount, line, kind: OpKind::Write }
+    }
+
+    #[test]
+    fn single_read_latency() {
+        let mut t = Trace::new("t", 1);
+        t.push(0, read(1000, 0));
+        let mut dev = FixedLatencyDevice::with_latencies(150, 1000);
+        let rep = Simulator::new(cfg()).run(&t, &mut dev);
+        // Issue at 1000 instr × 0.5 ns = 500 ns; device 150 + bus 8.
+        assert_eq!(rep.reads, 1);
+        assert_eq!(rep.read_latency.mean_ns(), 158.0);
+        assert_eq!(rep.exec_ns, 500 + 158);
+    }
+
+    #[test]
+    fn same_bank_reads_serialise_different_banks_overlap() {
+        // Two cores read at the same instant.
+        let mk = |line_a: u64, line_b: u64| {
+            let mut t = Trace::new("t", 2);
+            t.push(0, read(1000, line_a));
+            t.push(1, read(1000, line_b));
+            t
+        };
+        let sim = Simulator::new(cfg());
+        // Same bank (lines 0 and 2 both map to bank 0 of 2).
+        let mut dev = FixedLatencyDevice::with_latencies(150, 1000);
+        let same = sim.run(&mk(0, 2), &mut dev);
+        let mut dev = FixedLatencyDevice::with_latencies(150, 1000);
+        let diff = sim.run(&mk(0, 1), &mut dev);
+        assert!(
+            same.exec_ns > diff.exec_ns,
+            "bank conflict must cost time: {} vs {}",
+            same.exec_ns,
+            diff.exec_ns
+        );
+        // Different banks still share the bus, so not perfectly parallel.
+        assert!(diff.read_latency.max_ns() >= 158);
+    }
+
+    #[test]
+    fn posted_writes_do_not_block_core() {
+        let mut t = Trace::new("t", 1);
+        t.push(0, write(1000, 0));
+        t.push(0, read(1001, 1));
+        let mut dev = FixedLatencyDevice::with_latencies(150, 1000);
+        let rep = Simulator::new(cfg()).run(&t, &mut dev);
+        assert_eq!(rep.writes, 1);
+        // The read (bank 1) is not delayed by the write on bank 0.
+        assert!(rep.read_latency.mean_ns() < 200.0);
+    }
+
+    #[test]
+    fn full_write_queue_stalls_core() {
+        let mut t = Trace::new("t", 1);
+        // 12 back-to-back writes to one bank exceed the cap of 4 and the
+        // core must wait for drains.
+        for i in 0..12u64 {
+            t.push(0, write(1000 + i, 0));
+        }
+        let mut dev = FixedLatencyDevice::with_latencies(150, 1000);
+        let rep = Simulator::new(cfg()).run(&t, &mut dev);
+        assert_eq!(rep.writes, 12);
+        // The core posts the first 5 freely, then stalls behind drains of
+        // ~1008 ns each; issuing the 12th write requires ~7 drains.
+        assert!(rep.exec_ns > 6 * 1000, "exec {}", rep.exec_ns);
+    }
+
+    #[test]
+    fn write_cancellation_prioritises_reads() {
+        let mut base = Trace::new("t", 1);
+        base.push(0, write(1000, 0));
+        base.push(0, read(1010, 0)); // same bank, arrives while write runs
+        let mut on = cfg();
+        on.write_cancellation = true;
+        let mut off = cfg();
+        off.write_cancellation = false;
+        let mut dev = FixedLatencyDevice::with_latencies(150, 1000);
+        let rep_on = Simulator::new(on).run(&base, &mut dev);
+        let mut dev = FixedLatencyDevice::with_latencies(150, 1000);
+        let rep_off = Simulator::new(off).run(&base, &mut dev);
+        assert_eq!(rep_on.write_cancellations, 1);
+        assert_eq!(rep_off.write_cancellations, 0);
+        assert!(
+            rep_on.read_latency.mean_ns() < rep_off.read_latency.mean_ns(),
+            "cancellation must shorten the read: {} vs {}",
+            rep_on.read_latency.mean_ns(),
+            rep_off.read_latency.mean_ns()
+        );
+    }
+
+    #[test]
+    fn scrub_engine_visits_lines_and_occupies_banks() {
+        let mut t = Trace::new("t", 1);
+        // A long, sparse stream so simulated time passes.
+        for i in 0..200u64 {
+            t.push(0, read(i * 100_000, (i * 3) % 64));
+        }
+        let mut c = cfg();
+        c.lines_per_bank = 1024; // scrub period = 1s·1e9/1024 ≈ 0.98 ms
+        let mut dev = FixedLatencyDevice::with_latencies(150, 1000).with_scrub(1.0, false);
+        let rep = Simulator::new(c).run(&t, &mut dev);
+        assert!(rep.scrubs > 0, "scrub engine never ran");
+        assert_eq!(rep.scrub_rewrites, 0);
+        // With rewrites every visit, energy and cell writes appear.
+        let mut dev = FixedLatencyDevice::with_latencies(150, 1000).with_scrub(1.0, true);
+        let rep2 = Simulator::new(c).run(&t, &mut dev);
+        assert!(rep2.scrub_rewrites > 0);
+        assert!(rep2.cells_written_scrub >= 256);
+        assert!(rep2.energy_scrub_pj > rep.energy_scrub_pj);
+        // Scrubbing makes execution slower, never faster.
+        assert!(rep2.exec_ns >= rep.exec_ns);
+    }
+
+    /// A device that always orders a conversion write after reads.
+    struct ConvertingDevice;
+    impl DeviceModel for ConvertingDevice {
+        fn on_read(&mut self, _line: u64, _now_s: f64) -> ReadOutcome {
+            ReadOutcome {
+                latency_ns: 600,
+                mode: ReadMode::RmRead,
+                energy_pj: 1.0,
+                conversion: Some(WriteOutcome {
+                    latency_ns: 1000,
+                    cells_written: 256,
+                    slc_bits_written: 6,
+                    energy_pj: 2.0,
+                }),
+                untracked: true,
+                drift_errors: 3,
+            }
+        }
+        fn on_write(&mut self, _line: u64, _now_s: f64) -> WriteOutcome {
+            WriteOutcome { latency_ns: 1000, cells_written: 256, slc_bits_written: 0, energy_pj: 2.0 }
+        }
+        fn on_scrub(&mut self, _line: u64, _now_s: f64) -> ScrubOutcome {
+            ScrubOutcome { read_latency_ns: 150, read_energy_pj: 1.0, rewrite: None }
+        }
+        fn scrub_interval_s(&self) -> Option<f64> {
+            None
+        }
+    }
+
+    #[test]
+    fn conversion_writes_are_executed_and_attributed() {
+        let mut t = Trace::new("t", 1);
+        t.push(0, read(1000, 0));
+        t.push(0, read(100_000, 1));
+        let rep = Simulator::new(cfg()).run(&t, &mut ConvertingDevice);
+        assert_eq!(rep.reads_rm, 2);
+        assert_eq!(rep.conversions, 2);
+        assert_eq!(rep.untracked_reads, 2);
+        assert_eq!(rep.cells_written_conversion, 512);
+        assert_eq!(rep.slc_bits_written, 12);
+        assert_eq!(rep.drift_errors_seen, 6);
+        assert!((rep.energy_conversion_pj - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let t = readduo_trace::TraceGenerator::new(3)
+            .generate(&readduo_trace::Workload::toy(), 30_000, 2);
+        let sim = Simulator::new(cfg());
+        let mut d1 = FixedLatencyDevice::ideal();
+        let mut d2 = FixedLatencyDevice::ideal();
+        assert_eq!(sim.run(&t, &mut d1), sim.run(&t, &mut d2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cores")]
+    fn too_many_trace_cores_rejected() {
+        let t = Trace::new("t", 8);
+        let mut dev = FixedLatencyDevice::ideal();
+        let _ = Simulator::new(cfg()).run(&t, &mut dev);
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulation statistics.
+
+use crate::device::ReadMode;
+
+/// Streaming latency summary (count / mean / max) without storing samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Records one latency observation in ns.
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in ns (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum latency in ns.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+}
+
+/// Full report of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimReport {
+    /// End-to-end execution time: the last core's completion, ns.
+    pub exec_ns: u64,
+    /// Demand reads serviced.
+    pub reads: u64,
+    /// Demand writes serviced.
+    pub writes: u64,
+    /// Reads serviced per mode (R-read / M-read / R-M-read).
+    pub reads_r: u64,
+    /// M-read count.
+    pub reads_m: u64,
+    /// R-M-read count.
+    pub reads_rm: u64,
+    /// Reads that hit untracked lines (LWT's `P%` numerator).
+    pub untracked_reads: u64,
+    /// R-M-read conversions performed (redundant writes after reads).
+    pub conversions: u64,
+    /// End-to-end read latency (queueing + device + bus).
+    pub read_latency: LatencySummary,
+    /// Demand writes cancelled by arriving reads.
+    pub write_cancellations: u64,
+    /// Scrub visits performed.
+    pub scrubs: u64,
+    /// Scrub visits skipped due to bank backlog.
+    pub scrubs_skipped: u64,
+    /// Scrub visits that rewrote the line.
+    pub scrub_rewrites: u64,
+    /// MLC cells programmed by demand writes.
+    pub cells_written_demand: u64,
+    /// MLC cells programmed by scrub rewrites.
+    pub cells_written_scrub: u64,
+    /// MLC cells programmed by R-M-read conversions.
+    pub cells_written_conversion: u64,
+    /// SLC flag bits programmed.
+    pub slc_bits_written: u64,
+    /// Read energy, pJ.
+    pub energy_read_pj: f64,
+    /// Demand-write energy, pJ.
+    pub energy_write_pj: f64,
+    /// Scrub energy (scan + rewrite), pJ.
+    pub energy_scrub_pj: f64,
+    /// Conversion-write energy, pJ.
+    pub energy_conversion_pj: f64,
+    /// Total drift errors observed at reads.
+    pub drift_errors_seen: u64,
+}
+
+impl SimReport {
+    /// Tallies a read mode.
+    pub(crate) fn record_read_mode(&mut self, mode: ReadMode) {
+        match mode {
+            ReadMode::RRead => self.reads_r += 1,
+            ReadMode::MRead => self.reads_m += 1,
+            ReadMode::RmRead => self.reads_rm += 1,
+        }
+    }
+
+    /// Total dynamic energy, pJ.
+    pub fn energy_total_pj(&self) -> f64 {
+        self.energy_read_pj + self.energy_write_pj + self.energy_scrub_pj
+            + self.energy_conversion_pj
+    }
+
+    /// Total MLC cells programmed (lifetime / endurance proxy).
+    pub fn cells_written_total(&self) -> u64 {
+        self.cells_written_demand + self.cells_written_scrub + self.cells_written_conversion
+    }
+
+    /// Fraction of reads that were untracked (`P%` as a ratio in [0,1]).
+    pub fn untracked_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.untracked_reads as f64 / self.reads as f64
+        }
+    }
+
+    /// Execution time in seconds.
+    pub fn exec_seconds(&self) -> f64 {
+        self.exec_ns as f64 * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_tracks_mean_and_max() {
+        let mut s = LatencySummary::default();
+        for v in [100u64, 200, 300] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean_ns() - 200.0).abs() < 1e-12);
+        assert_eq!(s.max_ns(), 300);
+        assert_eq!(LatencySummary::default().mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = SimReport::default();
+        r.record_read_mode(ReadMode::RRead);
+        r.record_read_mode(ReadMode::RmRead);
+        r.reads = 2;
+        r.untracked_reads = 1;
+        r.energy_read_pj = 10.0;
+        r.energy_write_pj = 20.0;
+        r.energy_scrub_pj = 5.0;
+        r.energy_conversion_pj = 1.0;
+        r.cells_written_demand = 256;
+        r.cells_written_scrub = 256;
+        assert_eq!(r.reads_r, 1);
+        assert_eq!(r.reads_rm, 1);
+        assert!((r.energy_total_pj() - 36.0).abs() < 1e-12);
+        assert_eq!(r.cells_written_total(), 512);
+        assert!((r.untracked_fraction() - 0.5).abs() < 1e-12);
+    }
+}

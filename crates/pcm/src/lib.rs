@@ -1,0 +1,59 @@
+//! MLC phase-change-memory cell physics for the ReadDuo reproduction.
+//!
+//! This crate is the paper's Section II turned into code:
+//!
+//! * [`state`] — the four storage levels of a 2-bit MLC cell and their data
+//!   encoding (Table I: level 0 ↔ `01`, 1 ↔ `11`, 2 ↔ `10`, 3 ↔ `00`),
+//! * [`params`] — the R-metric (Table I) and M-metric (Table II) resistance
+//!   distributions and drift-coefficient statistics,
+//! * [`drift`] — the empirical power-law drift model `X(t) = X₀·(t/t₀)^α`
+//!   (Equations 1 and 2) in log₁₀ space,
+//! * [`cell`]/[`line`] — Monte-Carlo cell and 256-cell (64 B) line models
+//!   used by the trace-driven simulator,
+//! * [`sensing`] — R-sensing (current mode) and M-sensing (voltage mode)
+//!   with the two-round reference comparison and the paper's latencies,
+//! * [`iv`] — the low-field I-V characteristic and threshold-switching guard
+//!   that motivate why M-sensing has a higher signal-to-noise ratio,
+//! * [`slc`] — drift-free single-level cells used for the LWT flag bits,
+//! * [`tlc`] — the Tri-Level-Cell baseline (drops the most drift-prone
+//!   level, trading density for reliability).
+//!
+//! # Example
+//!
+//! ```
+//! use readduo_pcm::{MetricConfig, MlcLine};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let cfg = MetricConfig::r_metric();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut line = MlcLine::new(64); // 64 bytes = 256 cells
+//! let data = vec![0xA5u8; 64];
+//! line.program(&data, &cfg, &mut rng);
+//! // Immediately after the write nothing has drifted:
+//! let sensed = line.sense(1.0, &cfg);
+//! assert_eq!(sensed.data, data);
+//! assert_eq!(sensed.drift_errors, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod drift;
+pub mod iv;
+pub mod line;
+pub mod params;
+pub mod sensing;
+pub mod slc;
+pub mod state;
+pub mod tlc;
+
+pub use cell::MlcCell;
+pub use drift::{log_metric_at, time_to_cross};
+pub use iv::{IvCurve, ReadBias};
+pub use line::{MlcLine, SensedLine};
+pub use params::{LevelParams, MetricConfig, MetricKind, CELLS_PER_LINE, LINE_BYTES};
+pub use sensing::SenseTiming;
+pub use slc::SlcArray;
+pub use state::CellLevel;
+pub use tlc::TlcConfig;

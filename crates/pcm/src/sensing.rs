@@ -1,0 +1,73 @@
+//! Sensing timings and energies for the three read modes.
+//!
+//! Latencies follow Section III-B / IV of the paper: R-read 150 ns, M-read
+//! 450 ns (the optimised voltage-sensing circuit of [16], [1], [14] — a
+//! naive implementation needs >1000 ns), R-M-read 600 ns (a failed R-read
+//! followed by an M-read), MLC iterative program-and-verify write 1000 ns.
+
+/// Timing (and per-bit energy) parameters of the readout circuits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseTiming {
+    /// R-metric (current-mode) sensing latency in nanoseconds.
+    pub r_read_ns: u64,
+    /// M-metric (voltage-mode) sensing latency in nanoseconds.
+    pub m_read_ns: u64,
+    /// MLC iterative P&V write latency in nanoseconds.
+    pub write_ns: u64,
+}
+
+impl SenseTiming {
+    /// The paper's configuration: 150 / 450 / 1000 ns.
+    pub fn paper() -> Self {
+        Self {
+            r_read_ns: 150,
+            m_read_ns: 450,
+            write_ns: 1000,
+        }
+    }
+
+    /// Latency of an R-M-read: R-sensing that fails and falls back to
+    /// M-sensing (150 + 450 = 600 ns).
+    ///
+    /// ```
+    /// use readduo_pcm::SenseTiming;
+    /// assert_eq!(SenseTiming::paper().rm_read_ns(), 600);
+    /// ```
+    pub fn rm_read_ns(&self) -> u64 {
+        self.r_read_ns + self.m_read_ns
+    }
+
+    /// The naive (unoptimised) voltage-sensing latency the paper cites, for
+    /// the ablation bench that motivates the optimised circuit.
+    pub fn naive_m_read_ns() -> u64 {
+        1000
+    }
+}
+
+impl Default for SenseTiming {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let t = SenseTiming::paper();
+        assert_eq!(t.r_read_ns, 150);
+        assert_eq!(t.m_read_ns, 450);
+        assert_eq!(t.write_ns, 1000);
+        assert_eq!(t.rm_read_ns(), 600);
+        assert_eq!(t, SenseTiming::default());
+    }
+
+    #[test]
+    fn m_is_slower_than_r_but_faster_than_naive() {
+        let t = SenseTiming::paper();
+        assert!(t.m_read_ns > t.r_read_ns);
+        assert!(t.m_read_ns < SenseTiming::naive_m_read_ns());
+    }
+}

@@ -1,0 +1,152 @@
+//! Single-level-cell storage for metadata bits.
+//!
+//! The LWT flag bits (vector-flag + index-flag) are "stored as SLC in the
+//! ECC chip, which do not suffer from resistance drift" (paper, Section
+//! III-E). SLC uses only the fully crystalline and fully amorphous states,
+//! whose separation is three orders of magnitude — drift never closes that
+//! gap within device lifetime, so reads are modelled as always correct.
+
+/// A small array of drift-free SLC bits with endurance accounting.
+///
+/// ```
+/// use readduo_pcm::SlcArray;
+/// let mut flags = SlcArray::new(6);
+/// flags.write_bit(2, true);
+/// assert!(flags.read_bit(2));
+/// assert_eq!(flags.read_u64(0, 6), 0b000100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlcArray {
+    bits: Vec<bool>,
+    writes: u64,
+}
+
+impl SlcArray {
+    /// Creates an array of `n` bits, all zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "SLC array must hold at least one bit");
+        Self {
+            bits: vec![false; n],
+            writes: 0,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the array is empty (never true: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn read_bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Writes bit `i`, counting a cell write only when the value changes
+    /// (SLC differential write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn write_bit(&mut self, i: usize, v: bool) {
+        if self.bits[i] != v {
+            self.bits[i] = v;
+            self.writes += 1;
+        }
+    }
+
+    /// Reads `count` bits starting at `lo` as a little-endian integer
+    /// (bit `lo` is bit 0 of the result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `count > 64`.
+    pub fn read_u64(&self, lo: usize, count: usize) -> u64 {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut v = 0u64;
+        for k in 0..count {
+            if self.bits[lo + k] {
+                v |= 1 << k;
+            }
+        }
+        v
+    }
+
+    /// Writes `count` bits starting at `lo` from a little-endian integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `count > 64`.
+    pub fn write_u64(&mut self, lo: usize, count: usize, v: u64) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for k in 0..count {
+            self.write_bit(lo + k, (v >> k) & 1 == 1);
+        }
+    }
+
+    /// Total SLC cell writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_round_trip() {
+        let mut a = SlcArray::new(8);
+        a.write_bit(0, true);
+        a.write_bit(7, true);
+        assert!(a.read_bit(0));
+        assert!(!a.read_bit(3));
+        assert!(a.read_bit(7));
+        assert_eq!(a.len(), 8);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn writes_count_only_changes() {
+        let mut a = SlcArray::new(4);
+        a.write_bit(1, true);
+        a.write_bit(1, true); // no change, no write
+        a.write_bit(1, false);
+        assert_eq!(a.writes(), 2);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut a = SlcArray::new(10);
+        a.write_u64(2, 6, 0b101101);
+        assert_eq!(a.read_u64(2, 6), 0b101101);
+        assert_eq!(a.read_u64(0, 2), 0);
+        a.write_u64(2, 6, 0b000000);
+        assert_eq!(a.read_u64(0, 10), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_read_panics() {
+        let a = SlcArray::new(4);
+        let _ = a.read_bit(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_length_rejected() {
+        let _ = SlcArray::new(0);
+    }
+}

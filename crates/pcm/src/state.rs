@@ -1,0 +1,235 @@
+//! Storage levels of a 2-bit MLC PCM cell.
+//!
+//! Table I of the paper assigns the four resistance levels (lowest to
+//! highest) the data patterns `01`, `11`, `10`, `00` — a Gray-like code in
+//! which a single-level drift (always *upward* in resistance) flips exactly
+//! one of the two stored bits, except for the `01 → 00`-style misread the
+//! paper uses as its running example.
+
+/// One of the four resistance levels of a 2-bit MLC cell.
+///
+/// Level 0 is fully crystalline (lowest resistance, ~kΩ), level 3 fully
+/// amorphous (highest, ~MΩ). Resistance drift moves cells toward *higher*
+/// levels over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellLevel {
+    /// Fully crystalline; stores `01`; log₁₀R ≈ 3.
+    L0,
+    /// First intermediate; stores `11`; log₁₀R ≈ 4.
+    L1,
+    /// Second intermediate; stores `10`; log₁₀R ≈ 5.
+    L2,
+    /// Fully amorphous; stores `00`; log₁₀R ≈ 6.
+    L3,
+}
+
+impl CellLevel {
+    /// All four levels, lowest resistance first.
+    pub const ALL: [CellLevel; 4] = [CellLevel::L0, CellLevel::L1, CellLevel::L2, CellLevel::L3];
+
+    /// Numeric level index in `0..4`.
+    pub fn index(self) -> usize {
+        match self {
+            CellLevel::L0 => 0,
+            CellLevel::L1 => 1,
+            CellLevel::L2 => 2,
+            CellLevel::L3 => 3,
+        }
+    }
+
+    /// Level from a numeric index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 4`.
+    ///
+    /// ```
+    /// use readduo_pcm::CellLevel;
+    /// assert_eq!(CellLevel::from_index(2), CellLevel::L2);
+    /// ```
+    pub fn from_index(idx: usize) -> Self {
+        Self::ALL[idx]
+    }
+
+    /// The 2-bit data pattern this level stores, per Table I.
+    ///
+    /// Returned as a value in `0..4` whose bit 1 is the first written bit
+    /// and bit 0 the second (`0b01` for level 0, etc.).
+    ///
+    /// ```
+    /// use readduo_pcm::CellLevel;
+    /// assert_eq!(CellLevel::L0.data(), 0b01);
+    /// assert_eq!(CellLevel::L1.data(), 0b11);
+    /// assert_eq!(CellLevel::L2.data(), 0b10);
+    /// assert_eq!(CellLevel::L3.data(), 0b00);
+    /// ```
+    pub fn data(self) -> u8 {
+        match self {
+            CellLevel::L0 => 0b01,
+            CellLevel::L1 => 0b11,
+            CellLevel::L2 => 0b10,
+            CellLevel::L3 => 0b00,
+        }
+    }
+
+    /// The level that stores a given 2-bit pattern (inverse of [`data`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits >= 4`.
+    ///
+    /// [`data`]: CellLevel::data
+    pub fn from_data(bits: u8) -> Self {
+        match bits {
+            0b01 => CellLevel::L0,
+            0b11 => CellLevel::L1,
+            0b10 => CellLevel::L2,
+            0b00 => CellLevel::L3,
+            other => panic!("2-bit cell data must be in 0..4, got {other}"),
+        }
+    }
+
+    /// The next-higher resistance level, or `None` for the top level.
+    ///
+    /// Drift errors always misread a cell as `next()` (or beyond): the
+    /// resistance only increases after write.
+    pub fn next(self) -> Option<CellLevel> {
+        match self {
+            CellLevel::L0 => Some(CellLevel::L1),
+            CellLevel::L1 => Some(CellLevel::L2),
+            CellLevel::L2 => Some(CellLevel::L3),
+            CellLevel::L3 => None,
+        }
+    }
+
+    /// Number of data *bit* flips caused by misreading this level as `other`.
+    ///
+    /// ```
+    /// use readduo_pcm::CellLevel;
+    /// // '01' misread as '00' flips one bit.
+    /// assert_eq!(CellLevel::L0.bit_errors_if_read_as(CellLevel::L3), 1);
+    /// // '11' misread as '10' flips one bit.
+    /// assert_eq!(CellLevel::L1.bit_errors_if_read_as(CellLevel::L2), 1);
+    /// ```
+    pub fn bit_errors_if_read_as(self, other: CellLevel) -> u32 {
+        (self.data() ^ other.data()).count_ones()
+    }
+}
+
+impl std::fmt::Display for CellLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{} ('{:02b}')", self.index(), self.data())
+    }
+}
+
+/// Packs a byte slice into 2-bit cell values, most-significant pair first.
+///
+/// ```
+/// use readduo_pcm::state::{bytes_to_cell_data, cell_data_to_bytes};
+/// let cells = bytes_to_cell_data(&[0b_01_11_10_00]);
+/// assert_eq!(cells, vec![0b01, 0b11, 0b10, 0b00]);
+/// assert_eq!(cell_data_to_bytes(&cells), vec![0b_01_11_10_00]);
+/// ```
+pub fn bytes_to_cell_data(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() * 4);
+    for &b in bytes {
+        out.push((b >> 6) & 0b11);
+        out.push((b >> 4) & 0b11);
+        out.push((b >> 2) & 0b11);
+        out.push(b & 0b11);
+    }
+    out
+}
+
+/// Inverse of [`bytes_to_cell_data`].
+///
+/// # Panics
+///
+/// Panics if `cells.len()` is not a multiple of 4 or any value is `>= 4`.
+pub fn cell_data_to_bytes(cells: &[u8]) -> Vec<u8> {
+    assert!(
+        cells.len().is_multiple_of(4),
+        "cell count must be a multiple of 4, got {}",
+        cells.len()
+    );
+    cells
+        .chunks_exact(4)
+        .map(|c| {
+            for &v in c {
+                assert!(v < 4, "cell data must be 2 bits, got {v}");
+            }
+            (c[0] << 6) | (c[1] << 4) | (c[2] << 2) | c[3]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_mapping_round_trips() {
+        for level in CellLevel::ALL {
+            assert_eq!(CellLevel::from_data(level.data()), level);
+            assert_eq!(CellLevel::from_index(level.index()), level);
+        }
+    }
+
+    #[test]
+    fn all_patterns_covered_exactly_once() {
+        let mut seen = [false; 4];
+        for level in CellLevel::ALL {
+            let d = level.data() as usize;
+            assert!(!seen[d], "pattern {d:02b} mapped twice");
+            seen[d] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn next_is_strictly_increasing() {
+        assert_eq!(CellLevel::L0.next(), Some(CellLevel::L1));
+        assert_eq!(CellLevel::L3.next(), None);
+        for level in CellLevel::ALL {
+            if let Some(n) = level.next() {
+                assert!(n > level);
+            }
+        }
+    }
+
+    #[test]
+    fn single_level_drift_flips_exactly_one_bit() {
+        // The Table I encoding is a Gray code along the drift direction.
+        for level in CellLevel::ALL {
+            if let Some(n) = level.next() {
+                assert_eq!(level.bit_errors_if_read_as(n), 1, "{level} -> {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        let cells = bytes_to_cell_data(&data);
+        assert_eq!(cells.len(), 1024);
+        assert_eq!(cell_data_to_bytes(&cells), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn odd_cell_count_rejected() {
+        let _ = cell_data_to_bytes(&[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "0..4")]
+    fn bad_pattern_rejected() {
+        let _ = CellLevel::from_data(4);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(format!("{}", CellLevel::L0), "L0 ('01')");
+        assert_eq!(format!("{}", CellLevel::L3), "L3 ('00')");
+    }
+}

@@ -1,0 +1,278 @@
+//! Per-cell drift error probability.
+//!
+//! A cell programmed to level `i` at time 0 holds log-metric
+//! `x₀ ~ TruncNormal(μᵢ, σᵢ; ±2.746σᵢ)` and drift coefficient
+//! `α ~ N(μ_αᵢ, (0.4 μ_αᵢ)²)`. At age `Δt` the metric reads
+//! `x₀ + α·log₁₀(Δt/t₀)`; the cell is misread once that exceeds the sensing
+//! reference at `μᵢ + 3σᵢ`. The error probability is therefore
+//!
+//! ```text
+//! p(i, Δt) = ∫ φ_α(a) · P[x₀ > boundary − a·u] da ,   u = log₁₀(Δt/t₀)
+//! ```
+//!
+//! computed with Gauss–Legendre quadrature over `μ_α ± 10 σ_α` (the
+//! integrand is smooth; 96 points give full f64 accuracy).
+
+use readduo_math::GaussLegendre;
+use readduo_pcm::{CellLevel, MetricConfig};
+
+/// Analytic per-cell error model for one metric configuration.
+#[derive(Debug, Clone)]
+pub struct CellErrorModel {
+    cfg: MetricConfig,
+    rule: GaussLegendre,
+}
+
+impl CellErrorModel {
+    /// Builds the model for a metric configuration.
+    pub fn new(cfg: MetricConfig) -> Self {
+        Self {
+            cfg,
+            rule: GaussLegendre::new(96),
+        }
+    }
+
+    /// The underlying metric configuration.
+    pub fn config(&self) -> &MetricConfig {
+        &self.cfg
+    }
+
+    /// Probability that a cell programmed to `level` is misread `age_s`
+    /// seconds after its write.
+    ///
+    /// The top level has no upper neighbour and never errors. Ages below
+    /// `t0` return 0 (the programmed window sits strictly inside the
+    /// boundaries).
+    pub fn cell_error_prob(&self, level: CellLevel, age_s: f64) -> f64 {
+        let Some(boundary) = self.cfg.reference_above(level) else {
+            return 0.0;
+        };
+        if age_s <= self.cfg.t0() {
+            return 0.0;
+        }
+        let u = (age_s / self.cfg.t0()).log10();
+        let lp = self.cfg.level(level);
+        let x0 = lp.programmed_distribution();
+        let alpha = lp.alpha_distribution();
+        // Only α above this threshold can push even the topmost programmed
+        // cell across the boundary.
+        let alpha_min = (boundary - x0.hi()) / u;
+        let a_lo = alpha_min.max(alpha.mean() - 10.0 * alpha.std_dev()).max(0.0);
+        let a_hi = alpha.mean() + 10.0 * alpha.std_dev();
+        if a_lo >= a_hi {
+            return 0.0;
+        }
+        let p = self.rule.integrate_panels(a_lo, a_hi, 4, |a| {
+            // P[x₀ > boundary − a·u], computed via ln_sf of the *base*
+            // normal restricted to the window for deep-tail stability.
+            let thresh = boundary - a * u;
+            let sf = x0.sf(thresh);
+            alpha.pdf(a) * sf
+        });
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Error probability of a cell holding *uniform random data* at `age_s`:
+    /// the mean over the four levels.
+    pub fn mean_cell_error_prob(&self, age_s: f64) -> f64 {
+        CellLevel::ALL
+            .iter()
+            .map(|&l| self.cell_error_prob(l, age_s))
+            .sum::<f64>()
+            / 4.0
+    }
+}
+
+/// A pre-tabulated `mean_cell_error_prob(age)` curve for the simulator's
+/// hot path.
+///
+/// The analytic integral costs a few microseconds; the simulator samples a
+/// line's error count on *every read*, so this caches the curve on a
+/// log-spaced age grid with geometric interpolation (the curve is close to
+/// a power law, so interpolating `log p` against `log t` is accurate to
+/// <1% everywhere).
+#[derive(Debug, Clone)]
+pub struct CachedErrorCurve {
+    /// `log10` of the smallest tabulated age.
+    log_t_min: f64,
+    /// Grid spacing in `log10(age)`.
+    step: f64,
+    /// `ln p` at each grid point (`-inf` for exact zero).
+    ln_p: Vec<f64>,
+}
+
+impl CachedErrorCurve {
+    /// Tabulates `model` from `t_min_s` to `t_max_s` with `points` grid
+    /// points.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < t_min_s < t_max_s` and `points >= 2`.
+    pub fn new(model: &CellErrorModel, t_min_s: f64, t_max_s: f64, points: usize) -> Self {
+        assert!(t_min_s > 0.0 && t_min_s < t_max_s, "bad age range");
+        assert!(points >= 2, "need at least two grid points");
+        let log_t_min = t_min_s.log10();
+        let step = (t_max_s.log10() - log_t_min) / (points - 1) as f64;
+        let ln_p = (0..points)
+            .map(|i| {
+                let t = 10f64.powf(log_t_min + i as f64 * step);
+                model.mean_cell_error_prob(t).ln()
+            })
+            .collect();
+        Self { log_t_min, step, ln_p }
+    }
+
+    /// Convenience: the curve a scheme needs, covering 1 s .. ~30 years.
+    pub fn standard(model: &CellErrorModel) -> Self {
+        Self::new(model, 1.0, 1e9, 256)
+    }
+
+    /// Interpolated mean cell error probability at `age_s`.
+    pub fn prob(&self, age_s: f64) -> f64 {
+        if age_s <= 0.0 {
+            return 0.0;
+        }
+        let pos = (age_s.log10() - self.log_t_min) / self.step;
+        if pos <= 0.0 {
+            return self.ln_p[0].exp();
+        }
+        let n = self.ln_p.len();
+        if pos >= (n - 1) as f64 {
+            return self.ln_p[n - 1].exp();
+        }
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        let (a, b) = (self.ln_p[i], self.ln_p[i + 1]);
+        if a == f64::NEG_INFINITY || b == f64::NEG_INFINITY {
+            // Linear in p between a zero endpoint and a tiny one.
+            let pa = a.exp();
+            let pb = b.exp();
+            return pa + (pb - pa) * frac;
+        }
+        (a + (b - a) * frac).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use readduo_pcm::MlcCell;
+
+    fn r_model() -> CellErrorModel {
+        CellErrorModel::new(MetricConfig::r_metric())
+    }
+
+    fn m_model() -> CellErrorModel {
+        CellErrorModel::new(MetricConfig::m_metric())
+    }
+
+    #[test]
+    fn zero_at_write_time_and_for_top_level() {
+        let m = r_model();
+        for l in CellLevel::ALL {
+            assert_eq!(m.cell_error_prob(l, 1.0), 0.0, "{l}");
+            assert_eq!(m.cell_error_prob(l, 0.5), 0.0, "{l}");
+        }
+        assert_eq!(m.cell_error_prob(CellLevel::L3, 1e12), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_age() {
+        let m = r_model();
+        for l in [CellLevel::L1, CellLevel::L2] {
+            let mut prev = 0.0;
+            for exp in 0..10 {
+                let p = m.cell_error_prob(l, 10f64.powi(exp) * 2.0);
+                assert!(p >= prev, "{l} at 2e{exp}: {p} < {prev}");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn level2_is_the_most_fragile() {
+        let m = r_model();
+        for t in [8.0, 64.0, 640.0] {
+            let p1 = m.cell_error_prob(CellLevel::L1, t);
+            let p2 = m.cell_error_prob(CellLevel::L2, t);
+            let p0 = m.cell_error_prob(CellLevel::L0, t);
+            assert!(p2 >= p1 && p1 >= p0, "t={t}: {p0} {p1} {p2}");
+        }
+    }
+
+    #[test]
+    fn m_metric_is_orders_of_magnitude_safer() {
+        let r = r_model();
+        let m = m_model();
+        let t = 640.0;
+        let pr = r.mean_cell_error_prob(t);
+        let pm = m.mean_cell_error_prob(t);
+        assert!(pr > 1e-4, "R at 640 s should be sizeable: {pr:e}");
+        assert!(pm < pr * 1e-2, "M ({pm:e}) must be ≪ R ({pr:e})");
+        // And the gap widens dramatically at short ages, where M-sensing is
+        // effectively error-free.
+        assert_eq!(m.mean_cell_error_prob(8.0), 0.0);
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        // The analytic integral must agree with brute-force cell sampling.
+        let model = r_model();
+        let cfg = MetricConfig::r_metric();
+        let mut rng = StdRng::seed_from_u64(17);
+        let level = CellLevel::L2;
+        let age = 64.0;
+        let n = 200_000;
+        let mut errors = 0u64;
+        for _ in 0..n {
+            let c = MlcCell::program(level, &cfg, &mut rng);
+            if c.has_drift_error_at(age, &cfg) {
+                errors += 1;
+            }
+        }
+        let mc = errors as f64 / n as f64;
+        let analytic = model.cell_error_prob(level, age);
+        let sd = (analytic * (1.0 - analytic) / n as f64).sqrt();
+        assert!(
+            (mc - analytic).abs() < 6.0 * sd.max(1e-5),
+            "MC {mc:e} vs analytic {analytic:e} (sd {sd:e})"
+        );
+    }
+
+    #[test]
+    fn cached_curve_tracks_model() {
+        let model = r_model();
+        let curve = CachedErrorCurve::standard(&model);
+        for t in [1.5, 8.0, 64.0, 640.0, 1e4, 1e6] {
+            let exact = model.mean_cell_error_prob(t);
+            let approx = curve.prob(t);
+            if exact > 1e-300 {
+                // The curve plunges super-exponentially near its onset at
+                // t0, so allow a wider band there; everywhere else the
+                // log-log interpolation is tight.
+                let tol = if t < 4.0 { 0.25 } else { 0.02 };
+                assert!(
+                    ((approx - exact) / exact).abs() < tol,
+                    "t={t}: {approx:e} vs {exact:e}"
+                );
+            }
+        }
+        assert_eq!(curve.prob(0.0), 0.0);
+        // Clamps at both ends.
+        assert!(curve.prob(1e-3) <= curve.prob(2.0));
+        assert!(curve.prob(1e12) >= curve.prob(1e8));
+    }
+
+    #[test]
+    fn paper_scale_spot_check() {
+        // Table III, E=0, S=8 reports P(≥1 error in 512-bit line) ≈ 7.1e-2,
+        // i.e. mean cell error probability ≈ 2.9e-4 at 8 s. Our independent
+        // re-derivation should land in the same decade.
+        let p = r_model().mean_cell_error_prob(8.0);
+        assert!(
+            p > 1e-5 && p < 5e-3,
+            "mean cell error at 8 s = {p:e}, expected ~3e-4"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! The DRAM-equivalence reliability target.
+//!
+//! The paper calibrates against a conservative DRAM soft-error rate of
+//! **25 FIT per Mbit** (failures per 10⁹ device-hours per 10⁶ bits). For a
+//! 64 B line (512 bits) that translates to a line error rate of
+//! 1.28·10⁻¹¹ per line-hour, i.e. 3.56·10⁻¹⁵ per line-second — the
+//! `LER_DRAM` column of Tables III–V.
+
+/// FIT per Mbit assumed for DRAM (the paper picks the small end of the
+/// reported 25–75,000 range — smaller FIT = stricter target).
+pub const DRAM_FIT_PER_MBIT: f64 = 25.0;
+
+/// Bits per memory line.
+pub const LINE_BITS: f64 = 512.0;
+
+/// Line error rate per second implied by the FIT target.
+///
+/// ```
+/// use readduo_reliability::target::ler_per_second;
+/// let v = ler_per_second();
+/// assert!((v - 3.56e-15).abs() / 3.56e-15 < 0.01);
+/// ```
+pub fn ler_per_second() -> f64 {
+    // FIT = failures / 1e9 hours; per Mbit = per 1e6 bits.
+    DRAM_FIT_PER_MBIT * (LINE_BITS / 1e6) / 1e9 / 3600.0
+}
+
+/// Line error rate per hour implied by the FIT target (the paper's
+/// 1.28·10⁻¹¹).
+pub fn ler_per_hour() -> f64 {
+    ler_per_second() * 3600.0
+}
+
+/// The acceptable probability of line failure over an interval of `s`
+/// seconds — the `LER_DRAM` target column for scrub interval `S`.
+///
+/// # Panics
+///
+/// Panics if `s` is not positive.
+pub fn ler_target(s: f64) -> f64 {
+    assert!(s > 0.0, "interval must be positive, got {s}");
+    ler_per_second() * s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert!((ler_per_hour() - 1.28e-11).abs() / 1.28e-11 < 0.01);
+        // Table III target column: S = 2² → 1.42e-14.
+        assert!((ler_target(4.0) - 1.42e-14).abs() / 1.42e-14 < 0.01);
+        // S = 640 → 2.28e-12.
+        assert!((ler_target(640.0) - 2.28e-12).abs() / 2.28e-12 < 0.01);
+    }
+
+    #[test]
+    fn target_scales_linearly() {
+        assert!((ler_target(16.0) / ler_target(8.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = ler_target(0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! A tiny binary on-disk trace format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "RDTR"            4 bytes
+//! version u32              currently 1
+//! name    u32 len + bytes  workload name (UTF-8)
+//! cores   u32
+//! per core:
+//!   count u64
+//!   count × record { icount u64, line u64, kind u8 }
+//! ```
+//!
+//! Kept deliberately dependency-free (no serde): traces are large, the
+//! format is trivial, and a hand-rolled reader gives explicit, testable
+//! error paths.
+
+use crate::record::{MemOp, OpKind, Trace};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RDTR";
+const VERSION: u32 = 1;
+
+/// Serialises a trace.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.name.as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&(trace.cores() as u32).to_le_bytes())?;
+    for core in 0..trace.cores() {
+        let stream = trace.stream(core);
+        w.write_all(&(stream.len() as u64).to_le_bytes())?;
+        for op in stream {
+            w.write_all(&op.icount.to_le_bytes())?;
+            w.write_all(&op.line.to_le_bytes())?;
+            w.write_all(&[match op.kind {
+                OpKind::Read => 0u8,
+                OpKind::Write => 1u8,
+            }])?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialises a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic number, unsupported version,
+/// malformed name, unknown op kind, or truncated input.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("bad magic number"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported trace version {version}")));
+    }
+    let name_len = read_u32(&mut r)? as usize;
+    if name_len > 4096 {
+        return Err(bad("unreasonable name length"));
+    }
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes).map_err(|_| bad("name is not UTF-8"))?;
+    let cores = read_u32(&mut r)? as usize;
+    if cores == 0 {
+        return Err(bad("trace has zero cores"));
+    }
+    let mut trace = Trace::new(name, cores);
+    for core in 0..cores {
+        let count = read_u64(&mut r)?;
+        for _ in 0..count {
+            let icount = read_u64(&mut r)?;
+            let line = read_u64(&mut r)?;
+            let mut kind = [0u8; 1];
+            r.read_exact(&mut kind)?;
+            let kind = match kind[0] {
+                0 => OpKind::Read,
+                1 => OpKind::Write,
+                k => return Err(bad(format!("unknown op kind {k}"))),
+            };
+            trace.push(core, MemOp { icount, line, kind });
+        }
+    }
+    Ok(trace)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::workload::Workload;
+
+    #[test]
+    fn round_trip() {
+        let t = TraceGenerator::new(5).generate(&Workload::toy(), 20_000, 3);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_streams_round_trip() {
+        let t = Trace::new("empty", 2);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let t = TraceGenerator::new(5).generate(&Workload::toy(), 5_000, 1);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let t = Trace::new("x", 1);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        // Append a bogus record count to core 0 by rebuilding manually.
+        let mut manual = Vec::new();
+        manual.extend_from_slice(b"RDTR");
+        manual.extend_from_slice(&1u32.to_le_bytes());
+        manual.extend_from_slice(&1u32.to_le_bytes());
+        manual.push(b'x');
+        manual.extend_from_slice(&1u32.to_le_bytes());
+        manual.extend_from_slice(&1u64.to_le_bytes()); // one record
+        manual.extend_from_slice(&1u64.to_le_bytes());
+        manual.extend_from_slice(&2u64.to_le_bytes());
+        manual.push(9); // invalid kind
+        assert!(read_trace(&manual[..]).is_err());
+    }
+}

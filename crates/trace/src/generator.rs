@@ -1,0 +1,229 @@
+//! The synthetic trace generator.
+
+use crate::record::{MemOp, OpKind, Trace};
+use crate::workload::Workload;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic trace generator.
+///
+/// Two generators with the same seed produce identical traces for the same
+/// workload — all experiments in the benchmark harness are reproducible
+/// bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceGenerator {
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator with a master seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Generates a trace of `instructions_per_core` instructions on each of
+    /// `cores` cores running `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `instructions_per_core == 0`.
+    pub fn generate(&self, workload: &Workload, instructions_per_core: u64, cores: usize) -> Trace {
+        assert!(cores > 0, "need at least one core");
+        assert!(instructions_per_core > 0, "need a positive instruction budget");
+        let mut trace = Trace::new(workload.name, cores);
+        let footprint = workload.footprint_lines.max(16);
+        // The warm region holds data written during the window; everything
+        // above it is cold data written long before the trace started.
+        let warm_lines = ((footprint as f64 * workload.locality.written_fraction) as u64)
+            .clamp(1, footprint);
+        let cold_lines = footprint - warm_lines;
+        let zipf_warm = Zipf::new(warm_lines, workload.locality.zipf_s);
+        let zipf_cold = (cold_lines > 0).then(|| Zipf::new(cold_lines, workload.locality.zipf_s));
+        let mean_gap = 1000.0 / workload.mpki();
+        let read_fraction = workload.rpki / workload.mpki();
+
+        for core in 0..cores {
+            let mut rng = self.core_rng(workload.name, core);
+            // Each core works a private slice of the footprint plus a shared
+            // region, mimicking partitioned heaps with shared read-mostly
+            // data.
+            let core_salt = (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut stream_cursor = rng.gen_range(0..warm_lines);
+            let mut icount = 0u64;
+            loop {
+                // Exponential inter-arrival with the workload's MPKI.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let gap = (-u.ln() * mean_gap).ceil() as u64;
+                icount = icount.saturating_add(gap.max(1));
+                if icount > instructions_per_core {
+                    break;
+                }
+                let is_read = rng.gen::<f64>() < read_fraction;
+                let cold_read = is_read
+                    && zipf_cold.is_some()
+                    && rng.gen::<f64>() < workload.locality.cold_read_fraction;
+                let line = if cold_read {
+                    // A read into the static dataset (Zipf-reused, so hot
+                    // cold lines reward R-M-read conversion).
+                    let rank = zipf_cold.as_ref().expect("guarded").sample(&mut rng);
+                    warm_lines + permute(rank - 1, cold_lines, core_salt)
+                } else if rng.gen::<f64>() < workload.locality.streaming_fraction {
+                    // Sequential streaming through the warm working set.
+                    stream_cursor = (stream_cursor + 1) % warm_lines;
+                    stream_cursor
+                } else {
+                    // Zipf reuse over the warm region: reads revisit the
+                    // same hot lines the writes touch.
+                    let rank = zipf_warm.sample(&mut rng);
+                    permute(rank - 1, warm_lines, core_salt)
+                };
+                trace.push(
+                    core,
+                    MemOp {
+                        icount,
+                        line,
+                        kind: if is_read { OpKind::Read } else { OpKind::Write },
+                    },
+                );
+            }
+        }
+        trace
+    }
+
+    /// Per-(workload, core) RNG so adding cores never perturbs existing
+    /// streams.
+    fn core_rng(&self, name: &str, core: usize) -> StdRng {
+        let mut h = self.seed;
+        for b in name.bytes() {
+            h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        StdRng::seed_from_u64(h ^ (core as u64).wrapping_mul(0xD129_0577_9372_1937))
+    }
+}
+
+/// Maps a Zipf rank onto a line address with a salted affine permutation so
+/// hot ranks scatter across the address space (and across banks) instead of
+/// clustering at low addresses.
+fn permute(rank: u64, modulus: u64, salt: u64) -> u64 {
+    // Affine map with an odd multiplier co-prime to any even modulus is not
+    // guaranteed bijective for arbitrary moduli; collisions merely merge two
+    // hot lines, which is harmless here.
+    rank.wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1)
+        .wrapping_add(salt)
+        % modulus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let w = Workload::toy();
+        let a = TraceGenerator::new(7).generate(&w, 50_000, 2);
+        let b = TraceGenerator::new(7).generate(&w, 50_000, 2);
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(8).generate(&w, 50_000, 2);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn intensity_matches_rpki_wpki() {
+        let w = Workload::toy(); // 20 RPKI + 10 WPKI
+        let instr = 400_000u64;
+        let t = TraceGenerator::new(1).generate(&w, instr, 4);
+        let expected_ops = (w.mpki() / 1000.0) * instr as f64 * 4.0;
+        let got = t.total_ops() as f64;
+        assert!(
+            (got - expected_ops).abs() / expected_ops < 0.05,
+            "ops: got {got}, expected ~{expected_ops}"
+        );
+        let read_frac = t.total_reads() as f64 / got;
+        assert!((read_frac - 2.0 / 3.0).abs() < 0.02, "read fraction {read_frac}");
+    }
+
+    #[test]
+    fn writes_confined_to_warm_region_cold_reads_match_fraction() {
+        let mut w = Workload::toy();
+        w.locality.written_fraction = 0.25;
+        w.locality.streaming_fraction = 0.0;
+        w.locality.cold_read_fraction = 0.3;
+        let t = TraceGenerator::new(3).generate(&w, 400_000, 1);
+        let warm = (w.footprint_lines as f64 * 0.25) as u64;
+        let mut cold_reads = 0usize;
+        let mut reads = 0usize;
+        for op in t.stream(0) {
+            match op.kind {
+                OpKind::Write => assert!(op.line < warm, "write to cold region at {}", op.line),
+                OpKind::Read => {
+                    reads += 1;
+                    if op.line >= warm {
+                        cold_reads += 1;
+                    }
+                }
+            }
+        }
+        let frac = cold_reads as f64 / reads as f64;
+        assert!(
+            (frac - 0.3).abs() < 0.03,
+            "cold read fraction {frac} should match the configured 0.3"
+        );
+    }
+
+    #[test]
+    fn fully_written_footprint_has_no_cold_reads() {
+        let mut w = Workload::toy();
+        w.locality.written_fraction = 1.0;
+        w.locality.cold_read_fraction = 0.5; // ignored: no cold region
+        let t = TraceGenerator::new(5).generate(&w, 100_000, 1);
+        assert!(t.total_ops() > 0);
+        for op in t.stream(0) {
+            assert!(op.line < w.footprint_lines);
+        }
+    }
+
+    #[test]
+    fn hot_lines_absorb_disproportionate_traffic() {
+        let mut w = Workload::toy();
+        w.locality.streaming_fraction = 0.0;
+        w.locality.zipf_s = 1.1;
+        let t = TraceGenerator::new(4).generate(&w, 300_000, 1);
+        let mut counts = std::collections::HashMap::new();
+        for op in t.stream(0) {
+            *counts.entry(op.line).or_insert(0u64) += 1;
+        }
+        let total: u64 = counts.values().sum();
+        let mut sorted: Vec<u64> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = sorted.iter().take(10).sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.15,
+            "top-10 lines only carry {:.3} of traffic",
+            top10 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn all_spec_workloads_generate() {
+        for w in Workload::spec2006() {
+            let t = TraceGenerator::new(11).generate(&w, 5_000, 2);
+            // Low-MPKI workloads may produce few ops, but streams stay
+            // ordered and within the footprint.
+            for core in 0..t.cores() {
+                let mut prev = 0u64;
+                for op in t.stream(core) {
+                    assert!(op.icount >= prev);
+                    assert!(op.line < w.footprint_lines.max(16));
+                    prev = op.icount;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "instruction budget")]
+    fn zero_instructions_rejected() {
+        let _ = TraceGenerator::new(1).generate(&Workload::toy(), 0, 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Reliability explorer: re-derive the paper's operating points from the
+//! drift model — which (BCH strength, scrub interval) pairs meet DRAM
+//! reliability under each sensing metric, and where the decoupled
+//! 17-error detection band stops being safe.
+//!
+//! ```text
+//! cargo run --release --example reliability_explorer
+//! ```
+
+use readduo::pcm::MetricConfig;
+use readduo::reliability::{
+    condition_ii, find_min_code, target, CellErrorModel, LerAnalysis,
+};
+
+fn main() {
+    let r = CellErrorModel::new(MetricConfig::r_metric());
+    let m = CellErrorModel::new(MetricConfig::m_metric());
+
+    println!("Minimal BCH strength meeting 25 FIT/Mbit (DRAM) per interval:");
+    println!("{:>8}  {:>10}  {:>10}", "S (s)", "R-sensing", "M-sensing");
+    for exp in 2..=14u32 {
+        let s = 2f64.powi(exp as i32);
+        let er = find_min_code(&r, s, 20)
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| ">20".into());
+        let em = find_min_code(&m, s, 20)
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| ">20".into());
+        println!("{s:>8}  {er:>10}  {em:>10}");
+    }
+
+    // The ReadDuo-Hybrid safety argument: within the scrub interval, the
+    // probability of exceeding the BCH-8 *detection* band (17 bit errors)
+    // must stay under the target; find the crossover age.
+    let ler = LerAnalysis::new(r.clone());
+    println!("\nP(>17 errors) vs target (the Hybrid detection-band budget):");
+    for s in [160.0, 320.0, 480.0, 640.0, 960.0] {
+        let p = ler.ler_exceeding(17, s).to_prob();
+        let t = target::ler_target(s);
+        println!(
+            "  S = {s:>5}: {p:.2e} vs {t:.2e}  {}",
+            if p < t { "SAFE" } else { "over budget" }
+        );
+    }
+
+    // Why W=1 is safe for M-scrubbing but marginal for R-scrubbing.
+    println!("\nW=1 skip-rewrite condition (ii) at each metric's paper point:");
+    let pr = condition_ii(&r, 8, 8.0).to_prob();
+    let pm = condition_ii(&m, 8, 640.0).to_prob();
+    println!(
+        "  R(BCH=8, S=8):   {pr:.2e} vs target {:.2e} — no margin",
+        target::ler_target(8.0)
+    );
+    println!(
+        "  M(BCH=8, S=640): {pm:.2e} vs target {:.2e} — decades of margin",
+        target::ler_target(640.0)
+    );
+}

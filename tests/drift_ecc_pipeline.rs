@@ -1,0 +1,134 @@
+//! Cross-crate physics pipeline: Monte-Carlo cells (readduo-pcm) feeding
+//! the real BCH codec (readduo-ecc), validated against the analytic
+//! reliability engine (readduo-reliability) — three independently written
+//! subsystems that must agree.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use readduo::ecc::{Bch, DecodeOutcome};
+use readduo::pcm::{MetricConfig, MlcLine};
+use readduo::reliability::CellErrorModel;
+
+/// Sense a drifted line, impose its bit errors on a real BCH codeword, and
+/// check the decoder lands in the band the error count predicts.
+#[test]
+fn drifted_lines_decode_in_the_predicted_band() {
+    let cfg = MetricConfig::r_metric();
+    let code = Bch::new(10, 8, 512);
+    let mut rng = StdRng::seed_from_u64(2016);
+    let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+    let age = 3000.0; // old enough for a spread of error counts
+
+    let mut corrected = 0u32;
+    let mut detected = 0u32;
+    for _ in 0..40 {
+        let mut line = MlcLine::new(64);
+        line.program(&data, &cfg, &mut rng);
+        let sensed = line.sense(age, &cfg);
+        // Impose the sensed bit errors on a codeword at random positions.
+        let mut cw = code.encode(&data);
+        let mut flipped = 0;
+        while flipped < sensed.bit_errors.min(30) {
+            let i = rng.gen_range(0..512usize);
+            cw.flip(i);
+            flipped += 1;
+        }
+        match code.decode(&mut cw) {
+            DecodeOutcome::Clean => assert_eq!(sensed.bit_errors.min(30), 0),
+            DecodeOutcome::Corrected(n) => {
+                corrected += 1;
+                assert!(n <= 8, "corrected {n} > t");
+                assert_eq!(code.extract_data(&cw), data);
+            }
+            DecodeOutcome::Detected => {
+                detected += 1;
+                assert!(
+                    sensed.bit_errors > 8,
+                    "detection must imply more than t errors, got {}",
+                    sensed.bit_errors
+                );
+            }
+        }
+    }
+    assert!(corrected > 0, "some lines should be correctable at {age} s");
+    let _ = detected; // may be zero at this age; bands only need soundness
+}
+
+/// The analytic cell model must agree with brute-force Monte-Carlo over
+/// the *exact line composition*: for the specific data pattern written,
+/// P(more than 1 drifted cell) computed per-level (Poisson-binomial two-
+/// term formula) must match sampling the full line model.
+#[test]
+fn analytic_ler_matches_monte_carlo() {
+    use readduo::pcm::state::bytes_to_cell_data;
+    use readduo::pcm::CellLevel;
+
+    let cfg = MetricConfig::r_metric();
+    let model = CellErrorModel::new(cfg.clone());
+    let age = 256.0;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let data: Vec<u8> = (0..64).map(|_| rng.gen()).collect();
+
+    // Per-level cell counts of this exact line.
+    let mut counts = [0u32; 4];
+    for bits in bytes_to_cell_data(&data) {
+        counts[CellLevel::from_data(bits).index()] += 1;
+    }
+    // Exact P(X > 1) for independent heterogeneous cells:
+    // P0 = Π (1-p_l)^{n_l};  P1 = P0 · Σ n_l p_l / (1-p_l).
+    let ps: Vec<f64> = CellLevel::ALL
+        .iter()
+        .map(|&l| model.cell_error_prob(l, age))
+        .collect();
+    let p0: f64 = ps
+        .iter()
+        .zip(&counts)
+        .map(|(&p, &n)| (1.0 - p).powi(n as i32))
+        .product();
+    let p1: f64 = p0
+        * ps.iter()
+            .zip(&counts)
+            .map(|(&p, &n)| n as f64 * p / (1.0 - p))
+            .sum::<f64>();
+    let analytic = 1.0 - p0 - p1;
+
+    let trials = 3000;
+    let mut exceed = 0u32;
+    for _ in 0..trials {
+        let mut line = MlcLine::new(64);
+        line.program(&data, &cfg, &mut rng);
+        if line.sense(age, &cfg).drift_errors > 1 {
+            exceed += 1;
+        }
+    }
+    let mc = exceed as f64 / trials as f64;
+    let sd = (analytic * (1.0 - analytic) / trials as f64).sqrt();
+    assert!(
+        (mc - analytic).abs() < 5.0 * sd + 0.01,
+        "MC {mc:.4} vs analytic {analytic:.4} (sd {sd:.4}) at age {age}"
+    );
+}
+
+/// M-sensing the same line (same written data) must observe far fewer
+/// errors than R-sensing at every age — the paper's core physics claim.
+#[test]
+fn m_view_strictly_safer_than_r_view() {
+    let r_cfg = MetricConfig::r_metric();
+    let m_cfg = MetricConfig::m_metric();
+    let data = vec![0b_11_10_11_10u8; 64];
+    let mut total_r = 0u32;
+    let mut total_m = 0u32;
+    for seed in 0..20 {
+        let mut line_r = MlcLine::new(64);
+        let mut line_m = MlcLine::new(64);
+        line_r.program(&data, &r_cfg, &mut StdRng::seed_from_u64(seed));
+        line_m.program(&data, &m_cfg, &mut StdRng::seed_from_u64(seed));
+        total_r += line_r.count_drift_errors(10_000.0, &r_cfg);
+        total_m += line_m.count_drift_errors(10_000.0, &m_cfg);
+    }
+    assert!(total_r > 50, "R view should see plenty of errors: {total_r}");
+    assert!(
+        total_m * 10 < total_r,
+        "M view ({total_m}) must be an order of magnitude below R ({total_r})"
+    );
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration: trace generation → simulator → schemes, with
+//! the cross-scheme invariants the paper's evaluation rests on.
+
+use readduo::core::SchemeKind;
+use readduo::memsim::{MemoryConfig, Simulator};
+use readduo::trace::{TraceGenerator, Workload};
+
+fn run(kind: SchemeKind, instr: u64) -> readduo::memsim::SimReport {
+    let w = Workload::toy();
+    let trace = TraceGenerator::new(3).generate(&w, instr, 2);
+    let sim = Simulator::new(MemoryConfig::small_test());
+    let warm = (w.footprint_lines as f64 * w.locality.written_fraction) as u64;
+    let mut dev = kind.build_for(17, warm);
+    sim.run(&trace, dev.as_mut())
+}
+
+#[test]
+fn all_schemes_complete_and_account_all_ops() {
+    let w = Workload::toy();
+    let trace = TraceGenerator::new(3).generate(&w, 60_000, 2);
+    for kind in [
+        SchemeKind::Ideal,
+        SchemeKind::Scrubbing,
+        SchemeKind::ScrubbingW0,
+        SchemeKind::MMetric,
+        SchemeKind::Hybrid,
+        SchemeKind::Lwt { k: 4 },
+        SchemeKind::LwtNoConversion { k: 2 },
+        SchemeKind::Select { k: 4, s: 2 },
+        SchemeKind::Tlc,
+    ] {
+        let rep = run(kind, 60_000);
+        assert_eq!(
+            rep.reads + rep.writes,
+            trace.total_ops() as u64,
+            "{kind}: every trace op must be serviced"
+        );
+        assert!(rep.exec_ns > 0, "{kind}");
+        assert_eq!(
+            rep.reads_r + rep.reads_m + rep.reads_rm,
+            rep.reads,
+            "{kind}: read modes must partition reads"
+        );
+    }
+}
+
+#[test]
+fn ideal_is_the_fastest_scheme() {
+    let ideal = run(SchemeKind::Ideal, 80_000);
+    for kind in [
+        SchemeKind::Scrubbing,
+        SchemeKind::MMetric,
+        SchemeKind::Hybrid,
+        SchemeKind::Lwt { k: 4 },
+        SchemeKind::Select { k: 4, s: 2 },
+    ] {
+        let rep = run(kind, 80_000);
+        assert!(
+            rep.exec_ns >= ideal.exec_ns,
+            "{kind} ({}) must not beat Ideal ({})",
+            rep.exec_ns,
+            ideal.exec_ns
+        );
+    }
+}
+
+#[test]
+fn m_metric_reads_are_slowest_reads() {
+    let m = run(SchemeKind::MMetric, 80_000);
+    let ideal = run(SchemeKind::Ideal, 80_000);
+    assert!(m.read_latency.mean_ns() > ideal.read_latency.mean_ns() + 250.0);
+    assert_eq!(m.reads_m, m.reads, "M-metric services every read with M-sensing");
+}
+
+#[test]
+fn select_writes_fewest_cells() {
+    let lwt = run(SchemeKind::Lwt { k: 4 }, 80_000);
+    let select = run(SchemeKind::Select { k: 4, s: 2 }, 80_000);
+    assert!(
+        select.cells_written_demand < lwt.cells_written_demand,
+        "selective differential writes must cut demand cell writes: {} vs {}",
+        select.cells_written_demand,
+        lwt.cells_written_demand
+    );
+}
+
+#[test]
+fn scrubbing_w0_is_much_slower_than_w1() {
+    // Use paper-scale banks: the tiny test config scrubs so rarely that
+    // W=0 and W=1 are indistinguishable within one trace window.
+    let w = Workload::toy();
+    let trace = TraceGenerator::new(3).generate(&w, 80_000, 2);
+    let mut cfg = MemoryConfig::small_test();
+    cfg.lines_per_bank = 1 << 22;
+    let sim = Simulator::new(cfg);
+    let mut dev1 = SchemeKind::Scrubbing.build(17);
+    let mut dev0 = SchemeKind::ScrubbingW0.build(17);
+    let w1 = sim.run(&trace, dev1.as_mut());
+    let w0 = sim.run(&trace, dev0.as_mut());
+    assert!(
+        w0.exec_ns > w1.exec_ns,
+        "rewrite-everything scrubbing must cost more time: {} vs {}",
+        w0.exec_ns,
+        w1.exec_ns
+    );
+    assert!(w0.scrub_rewrites >= w0.scrubs - w0.scrubs_skipped);
+    assert!(w0.cells_written_scrub > w1.cells_written_scrub);
+}
+
+#[test]
+fn hybrid_services_most_reads_fast() {
+    let h = run(SchemeKind::Hybrid, 80_000);
+    assert!(
+        h.reads_r as f64 > 0.95 * h.reads as f64,
+        "Hybrid must R-read nearly everything: {} of {}",
+        h.reads_r,
+        h.reads
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(SchemeKind::Select { k: 4, s: 2 }, 50_000);
+    let b = run(SchemeKind::Select { k: 4, s: 2 }, 50_000);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn tlc_never_scrubs_and_never_errors() {
+    let t = run(SchemeKind::Tlc, 60_000);
+    assert_eq!(t.scrubs, 0);
+    assert_eq!(t.drift_errors_seen, 0);
+    assert_eq!(t.reads_r, t.reads);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use readduo::core::LwtFlags;
+use readduo::ecc::{Bch, BitVec, DecodeOutcome, GfField};
+use readduo::math::{binomial, ln_choose, LogProb};
+use readduo::pcm::state::{bytes_to_cell_data, cell_data_to_bytes};
+use readduo::trace::{read_trace, write_trace, TraceGenerator, Workload};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GF(2^10): field axioms on arbitrary nonzero elements.
+    #[test]
+    fn gf_axioms(a in 1u32..1024, b in 1u32..1024, c in 1u32..1024) {
+        let f = GfField::new(10);
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        prop_assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+        prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+        prop_assert_eq!(f.div(f.mul(a, b), b), a);
+    }
+
+    /// BCH-8 corrects any ≤8-bit error pattern and restores the data.
+    #[test]
+    fn bch_corrects_all_patterns_up_to_t(
+        data in proptest::collection::vec(any::<u8>(), 64),
+        positions in proptest::collection::btree_set(0usize..592, 0..=8),
+    ) {
+        let code = Bch::new(10, 8, 512);
+        let clean = code.encode(&data);
+        let mut cw = clean.clone();
+        for &p in &positions {
+            cw.flip(p);
+        }
+        let out = code.decode(&mut cw);
+        if positions.is_empty() {
+            prop_assert_eq!(out, DecodeOutcome::Clean);
+        } else {
+            prop_assert_eq!(out, DecodeOutcome::Corrected(positions.len()));
+        }
+        prop_assert_eq!(code.extract_data(&clean), data);
+        prop_assert_eq!(cw, clean);
+    }
+
+    /// Patterns of 9..=16 errors are detected, never silently corrupted.
+    #[test]
+    fn bch_detects_beyond_t(
+        data in proptest::collection::vec(any::<u8>(), 64),
+        positions in proptest::collection::btree_set(0usize..592, 9..=16),
+    ) {
+        let code = Bch::new(10, 8, 512);
+        let mut cw = code.encode(&data);
+        for &p in &positions {
+            cw.flip(p);
+        }
+        let before = cw.clone();
+        prop_assert_eq!(code.decode(&mut cw), DecodeOutcome::Detected);
+        prop_assert_eq!(cw, before);
+    }
+
+    /// Binomial tail is monotone and bounded by the union bound.
+    #[test]
+    fn binomial_tail_bounds(n in 1u64..600, p in 0.0f64..0.01, k in 1u64..20) {
+        let tail = binomial::tail_ge(n, p, k);
+        prop_assert!((0.0..=1.0).contains(&tail));
+        // Union bound: P(X >= k) <= C(n,k) p^k.
+        if p > 0.0 && k <= n {
+            let ub = (ln_choose(n, k) + k as f64 * p.ln()).exp();
+            prop_assert!(tail <= ub * (1.0 + 1e-9) + 1e-300);
+        }
+        // Monotonicity in k.
+        prop_assert!(binomial::tail_ge(n, p, k + 1) <= tail + 1e-15);
+    }
+
+    /// LogProb complement round-trips within tolerance in the mid-range.
+    #[test]
+    fn logprob_complement(p in 1e-6f64..0.999_999) {
+        let lp = LogProb::from_prob(p);
+        let back = lp.complement().complement().to_prob();
+        prop_assert!((back - p).abs() < 1e-9);
+    }
+
+    /// Byte ↔ cell-data conversion round-trips for any payload.
+    #[test]
+    fn cell_packing_round_trips(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let cells = bytes_to_cell_data(&data);
+        prop_assert_eq!(cells.len(), data.len() * 4);
+        prop_assert_eq!(cell_data_to_bytes(&cells), data);
+    }
+
+    /// BitVec ones() agrees with per-bit reads.
+    #[test]
+    fn bitvec_ones_consistent(bits in proptest::collection::btree_set(0usize..500, 0..40)) {
+        let mut v = BitVec::zeros(500);
+        for &b in &bits {
+            v.set(b, true);
+        }
+        prop_assert_eq!(v.ones(), bits.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(v.count_ones(), bits.len());
+    }
+
+    /// LWT flag safety: replay any op sequence against ground truth — R
+    /// allowed ⇒ the last write is within one scrub interval.
+    #[test]
+    fn lwt_flags_safety(ops in proptest::collection::vec((0u8..3, 0.0f64..0.5), 1..80)) {
+        for k in [2u8, 4, 8] {
+            let mut f = LwtFlags::new(k);
+            let s_len = 1.0;
+            let mut now = 0.0f64;
+            let mut last_write = f64::NEG_INFINITY;
+            let mut last_scrub = 0.0f64;
+            for &(op, dt) in &ops {
+                now += dt;
+                while now - last_scrub >= k as f64 * s_len {
+                    last_scrub += k as f64 * s_len;
+                    f.on_scrub(false);
+                }
+                let sub = (((now - last_scrub) / s_len) as u8).min(k - 1);
+                if op == 0 {
+                    f.on_write(sub);
+                    last_write = now;
+                } else if f.read_allows_r(sub) {
+                    prop_assert!(
+                        now - last_write <= k as f64 * s_len + 1e-9,
+                        "k={} R allowed at age {}", k, now - last_write
+                    );
+                }
+            }
+        }
+    }
+
+    /// Trace serialisation round-trips for arbitrary generated traces.
+    #[test]
+    fn trace_format_round_trips(seed in any::<u64>(), instr in 1_000u64..20_000) {
+        let t = TraceGenerator::new(seed).generate(&Workload::toy(), instr, 2);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        prop_assert_eq!(read_trace(&buf[..]).unwrap(), t);
+    }
+}
