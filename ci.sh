@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline tier-1 gate for the readduo workspace.
+#
+# The workspace has zero external crate dependencies (see Cargo.toml), so
+# everything here must succeed with the network unplugged and an empty
+# cargo registry cache. Run from the repo root:
+#
+#   ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+# Clippy ships with rustup toolchains but may be absent in minimal
+# containers; the gate is advisory there rather than a hard failure.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --no-deps -- -D warnings"
+    cargo clippy --workspace --all-targets --no-deps -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping lint step"
+fi
+
+echo "==> ci.sh: all gates green"

@@ -1,8 +1,11 @@
-//! Criterion microbenchmarks of the hot paths: BCH encode/decode, the
-//! drift sampler, the analytic reliability integral, and end-to-end
-//! simulator throughput.
+//! Microbenchmarks of the hot paths: BCH encode/decode, the drift sampler,
+//! the analytic reliability integral, and end-to-end simulator throughput.
+//!
+//! Runs on the in-repo harness (`readduo_bench::micro`) — no external
+//! benchmark framework, so `cargo bench` works with the network unplugged.
+//! Sample count is tunable via `READDUO_BENCH_SAMPLES`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use readduo_bench::micro::Micro;
 use readduo_core::{common::DriftSampler, SchemeKind};
 use readduo_ecc::Bch;
 use readduo_math::{erfc, GaussLegendre};
@@ -11,77 +14,74 @@ use readduo_pcm::MetricConfig;
 use readduo_reliability::{CellErrorModel, LerAnalysis};
 use readduo_trace::{TraceGenerator, Workload};
 
-fn bench_math(c: &mut Criterion) {
-    let mut g = c.benchmark_group("math");
-    g.bench_function("erfc_mid", |b| b.iter(|| erfc(std::hint::black_box(2.3))));
-    g.bench_function("erfc_tail", |b| b.iter(|| erfc(std::hint::black_box(9.0))));
+fn bench_math(m: &mut Micro) {
+    eprintln!("math:");
+    m.bench("math/erfc_mid", || erfc(std::hint::black_box(2.3)));
+    m.bench("math/erfc_tail", || erfc(std::hint::black_box(9.0)));
     let rule = GaussLegendre::new(96);
-    g.bench_function("gauss_legendre_96", |b| {
-        b.iter(|| rule.integrate(0.0, 1.0, |x| (-x * x).exp()))
+    m.bench("math/gauss_legendre_96", || {
+        rule.integrate(0.0, 1.0, |x| (-x * x).exp())
     });
-    g.finish();
 }
 
-fn bench_bch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bch");
+fn bench_bch(m: &mut Micro) {
+    eprintln!("bch:");
     let code = Bch::new(10, 8, 512);
     let data = vec![0xA7u8; 64];
-    g.bench_function("encode_512b_t8", |b| b.iter(|| code.encode(&data)));
+    m.bench("bch/encode_512b_t8", || code.encode(&data));
     let clean = code.encode(&data);
-    g.bench_function("decode_clean", |b| {
-        b.iter_batched(
-            || clean.clone(),
-            |mut cw| code.decode(&mut cw),
-            BatchSize::SmallInput,
-        )
-    });
+    m.bench_batched(
+        "bch/decode_clean",
+        || clean.clone(),
+        |mut cw| code.decode(&mut cw),
+    );
     let mut with_errors = clean.clone();
     for i in [3usize, 99, 255, 400] {
         with_errors.flip(i);
     }
-    g.bench_function("decode_4_errors", |b| {
-        b.iter_batched(
-            || with_errors.clone(),
-            |mut cw| code.decode(&mut cw),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    m.bench_batched(
+        "bch/decode_4_errors",
+        || with_errors.clone(),
+        |mut cw| code.decode(&mut cw),
+    );
 }
 
-fn bench_reliability(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reliability");
+fn bench_reliability(m: &mut Micro) {
+    eprintln!("reliability:");
     let model = CellErrorModel::new(MetricConfig::r_metric());
-    g.bench_function("cell_error_integral", |b| {
-        b.iter(|| model.mean_cell_error_prob(std::hint::black_box(640.0)))
+    m.bench("reliability/cell_error_integral", || {
+        model.mean_cell_error_prob(std::hint::black_box(640.0))
     });
     let analysis = LerAnalysis::new(model.clone());
-    g.bench_function("ler_tail_e8", |b| {
-        b.iter(|| analysis.ler_exceeding(8, std::hint::black_box(64.0)))
+    m.bench("reliability/ler_tail_e8", || {
+        analysis.ler_exceeding(8, std::hint::black_box(64.0))
     });
     let mut sampler = DriftSampler::new(1);
-    g.bench_function("drift_sample_per_read", |b| {
-        b.iter(|| sampler.bit_errors_r(std::hint::black_box(320.0)))
+    m.bench("reliability/drift_sample_per_read", move || {
+        sampler.bit_errors_r(std::hint::black_box(320.0))
     });
-    g.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
+fn bench_simulator(m: &mut Micro) {
+    eprintln!("simulator:");
     let trace = TraceGenerator::new(1).generate(&Workload::toy(), 200_000, 4);
     let sim = Simulator::new(MemoryConfig::paper());
     for kind in [SchemeKind::Ideal, SchemeKind::Hybrid, SchemeKind::Select { k: 4, s: 2 }] {
-        g.bench_function(format!("run_{}", kind.label()), |b| {
-            b.iter_batched(
-                || kind.build(7),
-                |mut dev| sim.run(&trace, dev.as_mut()),
-                BatchSize::SmallInput,
-            )
-        });
+        m.bench_batched(
+            &format!("simulator/run_{}", kind.label()),
+            || kind.build(7),
+            |mut dev| sim.run(&trace, dev.as_mut()),
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_math, bench_bch, bench_reliability, bench_simulator);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes --bench (and optional filters) to the harness;
+    // we run the full suite regardless.
+    let mut m = Micro::new();
+    bench_math(&mut m);
+    bench_bch(&mut m);
+    bench_reliability(&mut m);
+    bench_simulator(&mut m);
+    m.finish();
+}

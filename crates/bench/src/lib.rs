@@ -25,6 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use readduo_core::{EdapInputs, SchemeKind};
 use readduo_memsim::{MemoryConfig, SimReport, Simulator};
 use readduo_trace::{TraceGenerator, Workload};

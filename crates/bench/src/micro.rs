@@ -1,0 +1,236 @@
+//! A zero-dependency microbenchmark harness (std `Instant` only).
+//!
+//! Replaces criterion for the offline workspace: same shape of API
+//! ([`Micro::bench`] for pure routines, [`Micro::bench_batched`] for
+//! routines that consume a fresh input per call), robust statistics
+//! (median / p95 over timed samples), and auto-calibrated inner batching so
+//! nanosecond-scale routines are not swamped by timer overhead.
+//!
+//! Methodology: after a warm-up, the inner batch size `k` is doubled until
+//! one batch runs ≥ 200 µs; each *sample* then times `k` back-to-back calls
+//! and records the mean per-call latency. The per-call medians across
+//! samples are what the report prints — the median is insensitive to the
+//! occasional preempted sample, and p95 exposes tail noise.
+//!
+//! Sample count defaults to 20; override with `READDUO_BENCH_SAMPLES`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target wall time of one timed batch: long enough that `Instant`
+/// overhead (~20 ns) is below 0.1‰ of the measurement.
+const TARGET_BATCH_NS: u128 = 200_000;
+
+/// Hard cap on the inner batch size during calibration.
+const MAX_BATCH: u64 = 1 << 22;
+
+/// Timing samples of one benchmark: mean per-call nanoseconds of each
+/// timed batch.
+#[derive(Debug, Clone)]
+pub struct Samples {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Mean per-call latency of each timed batch, in nanoseconds.
+    pub per_call_ns: Vec<f64>,
+    /// Inner batch size the calibration settled on.
+    pub batch: u64,
+}
+
+impl Samples {
+    fn sorted(&self) -> Vec<f64> {
+        let mut v = self.per_call_ns.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v
+    }
+
+    /// Median per-call latency in nanoseconds.
+    pub fn median_ns(&self) -> f64 {
+        let v = self.sorted();
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            0.5 * (v[n / 2 - 1] + v[n / 2])
+        }
+    }
+
+    /// 95th-percentile per-call latency in nanoseconds (nearest-rank).
+    pub fn p95_ns(&self) -> f64 {
+        let v = self.sorted();
+        let rank = ((v.len() as f64) * 0.95).ceil() as usize;
+        v[rank.saturating_sub(1)]
+    }
+}
+
+/// Formats a nanosecond latency with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1e6 {
+        format!("{:8.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.3} s ", ns / 1e9)
+    }
+}
+
+/// The microbenchmark runner: collects [`Samples`] per case and prints one
+/// aligned median/p95 table at the end.
+#[derive(Debug)]
+pub struct Micro {
+    samples_per_bench: usize,
+    results: Vec<Samples>,
+}
+
+impl Micro {
+    /// Creates a runner; `READDUO_BENCH_SAMPLES` overrides the sample count.
+    pub fn new() -> Self {
+        let samples_per_bench = std::env::var("READDUO_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 3)
+            .unwrap_or(20);
+        Self {
+            samples_per_bench,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks a routine that needs no per-call input.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut routine: F) {
+        // Warm-up and calibration in one: double the batch until it takes
+        // TARGET_BATCH_NS of wall time.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if t.elapsed().as_nanos() >= TARGET_BATCH_NS || batch >= MAX_BATCH {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut per_call_ns = Vec::with_capacity(self.samples_per_bench);
+        for _ in 0..self.samples_per_bench {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_call_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.push(name, per_call_ns, batch);
+    }
+
+    /// Benchmarks a routine that consumes a fresh input per call (the
+    /// criterion `iter_batched` pattern): `setup` runs untimed, only the
+    /// consuming loop is inside the timed region.
+    pub fn bench_batched<S, T, G: FnMut() -> S, F: FnMut(S) -> T>(
+        &mut self,
+        name: &str,
+        mut setup: G,
+        mut routine: F,
+    ) {
+        let mut batch = 1u64;
+        loop {
+            let inputs: Vec<S> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            if t.elapsed().as_nanos() >= TARGET_BATCH_NS || batch >= MAX_BATCH {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut per_call_ns = Vec::with_capacity(self.samples_per_bench);
+        for _ in 0..self.samples_per_bench {
+            let inputs: Vec<S> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            per_call_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.push(name, per_call_ns, batch);
+    }
+
+    fn push(&mut self, name: &str, per_call_ns: Vec<f64>, batch: u64) {
+        let s = Samples {
+            name: name.to_string(),
+            per_call_ns,
+            batch,
+        };
+        eprintln!(
+            "  {:<28} median {}   p95 {}   (batch {})",
+            s.name,
+            fmt_ns(s.median_ns()),
+            fmt_ns(s.p95_ns()),
+            s.batch
+        );
+        self.results.push(s);
+    }
+
+    /// The collected samples so far.
+    pub fn results(&self) -> &[Samples] {
+        &self.results
+    }
+
+    /// Prints the final median/p95 table to stdout.
+    pub fn finish(self) {
+        println!("\n{:<30} {:>12} {:>12}", "benchmark", "median", "p95");
+        println!("{}", "-".repeat(56));
+        for s in &self.results {
+            println!(
+                "{:<30} {:>12} {:>12}",
+                s.name,
+                fmt_ns(s.median_ns()).trim(),
+                fmt_ns(s.p95_ns()).trim()
+            );
+        }
+    }
+}
+
+impl Default for Micro {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_p95_of_known_samples() {
+        let s = Samples {
+            name: "t".into(),
+            per_call_ns: (1..=20).map(|i| i as f64).collect(),
+            batch: 1,
+        };
+        assert_eq!(s.median_ns(), 10.5);
+        assert_eq!(s.p95_ns(), 19.0);
+    }
+
+    #[test]
+    fn harness_times_a_trivial_routine() {
+        std::env::set_var("READDUO_BENCH_SAMPLES", "3");
+        let mut m = Micro::new();
+        m.bench("noop_add", || black_box(1u64) + 1);
+        m.bench_batched("vec_drain", || vec![1u8; 64], |v| v.len());
+        assert_eq!(m.results().len(), 2);
+        for s in m.results() {
+            assert!(s.median_ns() >= 0.0);
+            assert!(s.p95_ns() >= s.median_ns());
+        }
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains("s"));
+    }
+}

@@ -1,8 +1,8 @@
 //! Shared scheme machinery: drift-error sampling, write costing, and the
 //! policy constants of the read path.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use readduo_rng::rngs::StdRng;
+use readduo_rng::SeedableRng;
 use readduo_math::BinomialSampler;
 use readduo_memsim::{EnergyModel, WriteOutcome};
 use readduo_pcm::{MetricConfig, SenseTiming};

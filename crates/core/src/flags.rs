@@ -204,7 +204,7 @@ mod tests {
     /// allowed when the last full write is more than S seconds old.
     #[test]
     fn safety_invariant_random_sequences() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use readduo_rng::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(99);
         for k in [2u8, 4, 8] {
             for trial in 0..200 {

@@ -311,7 +311,7 @@ impl Bch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use readduo_rng::{rngs::StdRng, Rng, SeedableRng};
 
     fn paper_code() -> Bch {
         Bch::new(10, 8, 512)

@@ -137,7 +137,7 @@ impl Secded {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use readduo_rng::{rngs::StdRng, Rng, SeedableRng};
 
     #[test]
     fn clean_round_trip() {

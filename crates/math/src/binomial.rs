@@ -104,7 +104,7 @@ pub fn ln_pmf(n: u64, p: f64, k: u64) -> f64 {
 ///
 /// ```
 /// use readduo_math::BinomialSampler;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use readduo_rng::{rngs::StdRng, SeedableRng};
 /// let sampler = BinomialSampler::new(256);
 /// let mut rng = StdRng::seed_from_u64(1);
 /// let x = sampler.sample(&mut rng, 0.01);
@@ -131,7 +131,7 @@ impl BinomialSampler {
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
-    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R, p: f64) -> u64 {
+    pub fn sample<R: readduo_rng::Rng + ?Sized>(&self, rng: &mut R, p: f64) -> u64 {
         assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
         if p == 0.0 {
             return 0;
@@ -147,7 +147,7 @@ impl BinomialSampler {
         }
     }
 
-    fn sample_inversion<R: rand::Rng + ?Sized>(&self, rng: &mut R, p: f64) -> u64 {
+    fn sample_inversion<R: readduo_rng::Rng + ?Sized>(&self, rng: &mut R, p: f64) -> u64 {
         // Sequential search from k=0: pmf(0) = q^n, pmf ratio
         // pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/q.
         let q = 1.0 - p;
@@ -172,7 +172,7 @@ impl BinomialSampler {
         k
     }
 
-    fn sample_normal<R: rand::Rng + ?Sized>(&self, rng: &mut R, p: f64) -> u64 {
+    fn sample_normal<R: readduo_rng::Rng + ?Sized>(&self, rng: &mut R, p: f64) -> u64 {
         let mean = self.n as f64 * p;
         let sd = (mean * (1.0 - p)).sqrt();
         let z = crate::normal::Normal::standard().sample(rng);
@@ -184,7 +184,7 @@ impl BinomialSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use readduo_rng::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn tail_matches_direct_summation_moderate() {

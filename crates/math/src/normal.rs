@@ -132,7 +132,7 @@ impl Normal {
     }
 
     /// Draws one sample using the polar Box–Muller transform.
-    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    pub fn sample<R: readduo_rng::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // Polar method: rejection-free of trig, numerically benign.
         loop {
             let u: f64 = rng.gen_range(-1.0..1.0);
@@ -261,7 +261,7 @@ impl TruncatedNormal {
     /// Draws one sample by inverse-transform on the truncated CDF.
     ///
     /// Exact (no rejection), so it stays cheap even for narrow windows.
-    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    pub fn sample<R: readduo_rng::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         self.quantile(u).clamp(self.lo, self.hi)
     }
@@ -275,7 +275,7 @@ pub fn phi(z: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use readduo_rng::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn cdf_sf_sum_to_one() {

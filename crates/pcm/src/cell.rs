@@ -31,13 +31,13 @@ impl MlcCell {
     ///
     /// ```
     /// use readduo_pcm::{CellLevel, MetricConfig, MlcCell};
-    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use readduo_rng::{rngs::StdRng, SeedableRng};
     /// let cfg = MetricConfig::r_metric();
     /// let mut rng = StdRng::seed_from_u64(9);
     /// let cell = MlcCell::program(CellLevel::L1, &cfg, &mut rng);
     /// assert_eq!(cell.level(), CellLevel::L1);
     /// ```
-    pub fn program<R: rand::Rng + ?Sized>(
+    pub fn program<R: readduo_rng::Rng + ?Sized>(
         level: CellLevel,
         cfg: &MetricConfig,
         rng: &mut R,
@@ -57,7 +57,7 @@ impl MlcCell {
 
     /// Reprograms the cell in place (a new write), preserving the endurance
     /// counter.
-    pub fn reprogram<R: rand::Rng + ?Sized>(
+    pub fn reprogram<R: readduo_rng::Rng + ?Sized>(
         &mut self,
         level: CellLevel,
         cfg: &MetricConfig,
@@ -119,7 +119,7 @@ impl MlcCell {
 mod tests {
     use super::*;
     use crate::params::{MetricConfig, PROGRAM_WIDTH_SIGMAS};
-    use rand::{rngs::StdRng, SeedableRng};
+    use readduo_rng::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn programming_lands_inside_window() {

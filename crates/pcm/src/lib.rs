@@ -22,7 +22,7 @@
 //!
 //! ```
 //! use readduo_pcm::{MetricConfig, MlcLine};
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use readduo_rng::{rngs::StdRng, SeedableRng};
 //!
 //! let cfg = MetricConfig::r_metric();
 //! let mut rng = StdRng::seed_from_u64(1);

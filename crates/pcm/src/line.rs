@@ -55,7 +55,7 @@ impl MlcLine {
     /// # Panics
     ///
     /// Panics if `data.len()` differs from the line size.
-    pub fn program<R: rand::Rng + ?Sized>(
+    pub fn program<R: readduo_rng::Rng + ?Sized>(
         &mut self,
         data: &[u8],
         cfg: &MetricConfig,
@@ -85,7 +85,7 @@ impl MlcLine {
     /// # Panics
     ///
     /// Panics if `data.len()` differs from the line size.
-    pub fn program_differential<R: rand::Rng + ?Sized>(
+    pub fn program_differential<R: readduo_rng::Rng + ?Sized>(
         &mut self,
         data: &[u8],
         cfg: &MetricConfig,
@@ -171,7 +171,7 @@ impl MlcLine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use readduo_rng::{rngs::StdRng, SeedableRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(2024)

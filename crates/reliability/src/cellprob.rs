@@ -156,7 +156,7 @@ impl CachedErrorCurve {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use readduo_rng::{rngs::StdRng, SeedableRng};
     use readduo_pcm::MlcCell;
 
     fn r_model() -> CellErrorModel {

@@ -1,0 +1,268 @@
+//! Typed sampling: full-range draws ([`Sample`]) and uniform range draws
+//! ([`SampleUniform`] / [`SampleRange`]), mirroring `rand`'s `Standard`
+//! distribution and `gen_range` semantics.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types with a natural uniform distribution for [`Rng::gen`](crate::Rng::gen):
+/// the full value range for integers and `bool`, `[0, 1)` for floats.
+pub trait Sample: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Sample for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for u128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Sample for i128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Take a high bit: the low bits of weaker generators are the first
+        // to show structure.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` on the 2⁻⁵³ grid (53 explicit mantissa bits).
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` on the 2⁻²⁴ grid (24 explicit mantissa bits).
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform `u64` below `n` via Lemire's multiply-shift with rejection —
+/// unbiased, and for most `n` needs exactly one 64×64→128 multiply.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(n);
+    let mut lo = m as u64;
+    if lo < n {
+        // Reject the sliver that makes some quotients over-represented.
+        let threshold = n.wrapping_neg() % n;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(n);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Types that can be drawn uniformly from a bounded range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`; the caller guarantees `low < high`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Uniform draw from `[low, high]`; the caller guarantees `low <= high`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                low.wrapping_add(uniform_u64_below(rng, span) as $u as $t)
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = ((high as $u).wrapping_sub(low as $u) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Only reachable for 64-bit types covering the full range.
+                    return rng.next_u64() as $u as $t;
+                }
+                low.wrapping_add(uniform_u64_below(rng, span) as $u as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                loop {
+                    let u: $t = Sample::sample(rng);
+                    let x = low + u * (high - low);
+                    // The affine map can round up onto `high` when the span
+                    // is large; redraw (vanishingly rare) to stay half-open.
+                    if x < high {
+                        return x;
+                    }
+                }
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let u: $t = Sample::sample(rng);
+                (low + u * (high - low)).clamp(low, high)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Range arguments accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + std::fmt::Debug> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "cannot sample empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + std::fmt::Debug> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range {low:?}..={high:?}");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x), "out of unit interval: {x}");
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn integer_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..7 reachable: {seen:?}");
+        let mut seen_incl = [false; 5];
+        for _ in 0..1000 {
+            seen_incl[rng.gen_range(0..=4usize)] = true;
+        }
+        assert!(seen_incl.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn integer_range_unbiased_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000u64;
+        let sum: u64 = (0..n).map(|_| rng.gen_range(0..1000u64)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 499.5).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn signed_ranges_honour_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-17i32..42);
+            assert!((-17..42).contains(&x));
+            let y = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_range_half_open() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50_000 {
+            let x = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let y = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(y > 0.0 && y < 1.0);
+        }
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(5..=5u32), 5);
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_hang() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = rng.gen_range(0..=u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = rng.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn bool_is_fair() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4700..5300).contains(&heads), "heads {heads}/10000");
+    }
+}

@@ -3,8 +3,8 @@
 use crate::record::{MemOp, OpKind, Trace};
 use crate::workload::Workload;
 use crate::zipf::Zipf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use readduo_rng::rngs::StdRng;
+use readduo_rng::{Rng, SeedableRng};
 
 /// Deterministic trace generator.
 ///

@@ -28,7 +28,7 @@ impl Zipf {
     ///
     /// ```
     /// use readduo_trace::Zipf;
-    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use readduo_rng::{rngs::StdRng, SeedableRng};
     /// let z = Zipf::new(1000, 0.9);
     /// let mut rng = StdRng::seed_from_u64(1);
     /// let r = z.sample(&mut rng);
@@ -75,7 +75,7 @@ impl Zipf {
     }
 
     /// Draws one rank in `1..=n`.
-    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample<R: readduo_rng::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         loop {
             let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
             let x = self.h_integral_inverse(u);
@@ -127,7 +127,7 @@ fn helper2(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use readduo_rng::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn samples_in_range() {

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rand::{rngs::StdRng, SeedableRng};
+use readduo_rng::{rngs::StdRng, SeedableRng};
 use readduo::prelude::*;
 
 fn main() {

@@ -18,7 +18,7 @@
 //!
 //! ```
 //! use readduo::prelude::*;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use readduo_rng::{rngs::StdRng, SeedableRng};
 //!
 //! // Sense a freshly written 64-byte line with the fast R-metric.
 //! let cfg = MetricConfig::r_metric();

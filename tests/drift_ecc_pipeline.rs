@@ -3,7 +3,7 @@
 //! reliability engine (readduo-reliability) — three independently written
 //! subsystems that must agree.
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use readduo_rng::{rngs::StdRng, Rng, SeedableRng};
 use readduo::ecc::{Bch, DecodeOutcome};
 use readduo::pcm::{MetricConfig, MlcLine};
 use readduo::reliability::CellErrorModel;

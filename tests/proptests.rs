@@ -1,141 +1,301 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-based tests over the core data structures and invariants,
+//! running on the in-repo harness (`prop_harness`, replacing `proptest`).
+//!
+//! Every property runs ≥ 64 seeded cases; a failure prints a
+//! `READDUO_PROP_SEED=<seed>` line that replays exactly the failing input
+//! (see README § Reproducing a property-test failure). Properties return
+//! `Ok(())` for inputs outside their domain so the shrinker stays inside.
 
-use proptest::prelude::*;
+mod prop_harness;
+
+use prop_harness::{check, ensure, ensure_eq, gen_bytes, gen_subset};
 use readduo::core::LwtFlags;
 use readduo::ecc::{Bch, BitVec, DecodeOutcome, GfField};
 use readduo::math::{binomial, ln_choose, LogProb};
 use readduo::pcm::state::{bytes_to_cell_data, cell_data_to_bytes};
 use readduo::trace::{read_trace, write_trace, TraceGenerator, Workload};
+use readduo_rng::Rng as _;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// GF(2^10): field axioms on arbitrary nonzero elements.
+#[test]
+fn gf_axioms() {
+    check(
+        "gf_axioms",
+        |rng| {
+            (
+                rng.gen_range(1u32..1024),
+                rng.gen_range(1u32..1024),
+                rng.gen_range(1u32..1024),
+            )
+        },
+        |&(a, b, c)| {
+            if [a, b, c].iter().any(|v| !(1..1024).contains(v)) {
+                return Ok(());
+            }
+            let f = GfField::new(10);
+            ensure_eq!(f.mul(a, b), f.mul(b, a));
+            ensure_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+            ensure_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
+            ensure_eq!(f.mul(a, f.inv(a)), 1);
+            ensure_eq!(f.div(f.mul(a, b), b), a);
+            Ok(())
+        },
+    );
+}
 
-    /// GF(2^10): field axioms on arbitrary nonzero elements.
-    #[test]
-    fn gf_axioms(a in 1u32..1024, b in 1u32..1024, c in 1u32..1024) {
-        let f = GfField::new(10);
-        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
-        prop_assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
-        prop_assert_eq!(f.mul(a, b ^ c), f.mul(a, b) ^ f.mul(a, c));
-        prop_assert_eq!(f.mul(a, f.inv(a)), 1);
-        prop_assert_eq!(f.div(f.mul(a, b), b), a);
+/// BCH-8 corrects any ≤8-bit error pattern and restores the data.
+#[test]
+fn bch_corrects_all_patterns_up_to_t() {
+    check(
+        "bch_corrects_all_patterns_up_to_t",
+        |rng| (gen_bytes(rng, 64, 64), gen_subset(rng, 592, 0, 8)),
+        |(data, positions)| {
+            if data.len() != 64 || positions.len() > 8 {
+                return Ok(());
+            }
+            let code = Bch::new(10, 8, 512);
+            let clean = code.encode(data);
+            let mut cw = clean.clone();
+            for &p in positions {
+                cw.flip(p);
+            }
+            let out = code.decode(&mut cw);
+            if positions.is_empty() {
+                ensure_eq!(out, DecodeOutcome::Clean);
+            } else {
+                ensure_eq!(out, DecodeOutcome::Corrected(positions.len()));
+            }
+            ensure_eq!(code.extract_data(&clean), *data);
+            ensure_eq!(cw, clean);
+            Ok(())
+        },
+    );
+}
+
+/// Patterns of 9..=16 errors are detected, never silently corrupted.
+#[test]
+fn bch_detects_beyond_t() {
+    check(
+        "bch_detects_beyond_t",
+        |rng| (gen_bytes(rng, 64, 64), gen_subset(rng, 592, 9, 16)),
+        |(data, positions)| {
+            if data.len() != 64 || !(9..=16).contains(&positions.len()) {
+                return Ok(());
+            }
+            let code = Bch::new(10, 8, 512);
+            let mut cw = code.encode(data);
+            for &p in positions {
+                cw.flip(p);
+            }
+            let before = cw.clone();
+            ensure_eq!(code.decode(&mut cw), DecodeOutcome::Detected);
+            ensure_eq!(cw, before);
+            Ok(())
+        },
+    );
+}
+
+/// Binomial tail is monotone and bounded by the union bound.
+#[test]
+fn binomial_tail_bounds() {
+    check(
+        "binomial_tail_bounds",
+        |rng| {
+            (
+                rng.gen_range(1u64..600),
+                rng.gen_range(0.0f64..0.01),
+                rng.gen_range(1u64..20),
+            )
+        },
+        |&(n, p, k)| {
+            if !(1..600).contains(&n) || !(0.0..0.01).contains(&p) || !(1..20).contains(&k) {
+                return Ok(());
+            }
+            let tail = binomial::tail_ge(n, p, k);
+            ensure!((0.0..=1.0).contains(&tail), "tail {tail} outside [0,1]");
+            // Union bound: P(X >= k) <= C(n,k) p^k.
+            if p > 0.0 && k <= n {
+                let ub = (ln_choose(n, k) + k as f64 * p.ln()).exp();
+                ensure!(
+                    tail <= ub * (1.0 + 1e-9) + 1e-300,
+                    "tail {tail} above union bound {ub}"
+                );
+            }
+            // Monotonicity in k.
+            ensure!(
+                binomial::tail_ge(n, p, k + 1) <= tail + 1e-15,
+                "tail not monotone in k at n={n} p={p} k={k}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// LogProb complement round-trips within tolerance in the mid-range.
+#[test]
+fn logprob_complement() {
+    check(
+        "logprob_complement",
+        |rng| rng.gen_range(1e-6f64..0.999_999),
+        |&p| {
+            if !(1e-6..0.999_999).contains(&p) {
+                return Ok(());
+            }
+            let lp = LogProb::from_prob(p);
+            let back = lp.complement().complement().to_prob();
+            ensure!((back - p).abs() < 1e-9, "round-trip {p} -> {back}");
+            Ok(())
+        },
+    );
+}
+
+/// Byte ↔ cell-data conversion round-trips for any payload.
+#[test]
+fn cell_packing_round_trips() {
+    check(
+        "cell_packing_round_trips",
+        |rng| gen_bytes(rng, 0, 127),
+        |data| {
+            let cells = bytes_to_cell_data(data);
+            ensure_eq!(cells.len(), data.len() * 4);
+            ensure_eq!(cell_data_to_bytes(&cells), *data);
+            Ok(())
+        },
+    );
+}
+
+/// BitVec ones() agrees with per-bit reads.
+#[test]
+fn bitvec_ones_consistent() {
+    check(
+        "bitvec_ones_consistent",
+        |rng| gen_subset(rng, 500, 0, 39),
+        |bits| {
+            let mut v = BitVec::zeros(500);
+            for &b in bits {
+                v.set(b, true);
+            }
+            ensure_eq!(v.ones(), bits.iter().copied().collect::<Vec<_>>());
+            ensure_eq!(v.count_ones(), bits.len());
+            Ok(())
+        },
+    );
+}
+
+/// The LWT-flag safety property, shared by the random-case property and the
+/// pinned regression case below: replay any op sequence against ground
+/// truth — R allowed ⇒ the last write is within one scrub interval.
+fn lwt_flags_safety_prop(ops: &[(u8, f64)]) -> Result<(), String> {
+    if ops.is_empty() || ops.iter().any(|&(op, dt)| op >= 3 || !(0.0..0.5).contains(&dt)) {
+        return Ok(());
     }
-
-    /// BCH-8 corrects any ≤8-bit error pattern and restores the data.
-    #[test]
-    fn bch_corrects_all_patterns_up_to_t(
-        data in proptest::collection::vec(any::<u8>(), 64),
-        positions in proptest::collection::btree_set(0usize..592, 0..=8),
-    ) {
-        let code = Bch::new(10, 8, 512);
-        let clean = code.encode(&data);
-        let mut cw = clean.clone();
-        for &p in &positions {
-            cw.flip(p);
-        }
-        let out = code.decode(&mut cw);
-        if positions.is_empty() {
-            prop_assert_eq!(out, DecodeOutcome::Clean);
-        } else {
-            prop_assert_eq!(out, DecodeOutcome::Corrected(positions.len()));
-        }
-        prop_assert_eq!(code.extract_data(&clean), data);
-        prop_assert_eq!(cw, clean);
-    }
-
-    /// Patterns of 9..=16 errors are detected, never silently corrupted.
-    #[test]
-    fn bch_detects_beyond_t(
-        data in proptest::collection::vec(any::<u8>(), 64),
-        positions in proptest::collection::btree_set(0usize..592, 9..=16),
-    ) {
-        let code = Bch::new(10, 8, 512);
-        let mut cw = code.encode(&data);
-        for &p in &positions {
-            cw.flip(p);
-        }
-        let before = cw.clone();
-        prop_assert_eq!(code.decode(&mut cw), DecodeOutcome::Detected);
-        prop_assert_eq!(cw, before);
-    }
-
-    /// Binomial tail is monotone and bounded by the union bound.
-    #[test]
-    fn binomial_tail_bounds(n in 1u64..600, p in 0.0f64..0.01, k in 1u64..20) {
-        let tail = binomial::tail_ge(n, p, k);
-        prop_assert!((0.0..=1.0).contains(&tail));
-        // Union bound: P(X >= k) <= C(n,k) p^k.
-        if p > 0.0 && k <= n {
-            let ub = (ln_choose(n, k) + k as f64 * p.ln()).exp();
-            prop_assert!(tail <= ub * (1.0 + 1e-9) + 1e-300);
-        }
-        // Monotonicity in k.
-        prop_assert!(binomial::tail_ge(n, p, k + 1) <= tail + 1e-15);
-    }
-
-    /// LogProb complement round-trips within tolerance in the mid-range.
-    #[test]
-    fn logprob_complement(p in 1e-6f64..0.999_999) {
-        let lp = LogProb::from_prob(p);
-        let back = lp.complement().complement().to_prob();
-        prop_assert!((back - p).abs() < 1e-9);
-    }
-
-    /// Byte ↔ cell-data conversion round-trips for any payload.
-    #[test]
-    fn cell_packing_round_trips(data in proptest::collection::vec(any::<u8>(), 0..128)) {
-        let cells = bytes_to_cell_data(&data);
-        prop_assert_eq!(cells.len(), data.len() * 4);
-        prop_assert_eq!(cell_data_to_bytes(&cells), data);
-    }
-
-    /// BitVec ones() agrees with per-bit reads.
-    #[test]
-    fn bitvec_ones_consistent(bits in proptest::collection::btree_set(0usize..500, 0..40)) {
-        let mut v = BitVec::zeros(500);
-        for &b in &bits {
-            v.set(b, true);
-        }
-        prop_assert_eq!(v.ones(), bits.iter().copied().collect::<Vec<_>>());
-        prop_assert_eq!(v.count_ones(), bits.len());
-    }
-
-    /// LWT flag safety: replay any op sequence against ground truth — R
-    /// allowed ⇒ the last write is within one scrub interval.
-    #[test]
-    fn lwt_flags_safety(ops in proptest::collection::vec((0u8..3, 0.0f64..0.5), 1..80)) {
-        for k in [2u8, 4, 8] {
-            let mut f = LwtFlags::new(k);
-            let s_len = 1.0;
-            let mut now = 0.0f64;
-            let mut last_write = f64::NEG_INFINITY;
-            let mut last_scrub = 0.0f64;
-            for &(op, dt) in &ops {
-                now += dt;
-                while now - last_scrub >= k as f64 * s_len {
-                    last_scrub += k as f64 * s_len;
-                    f.on_scrub(false);
-                }
-                let sub = (((now - last_scrub) / s_len) as u8).min(k - 1);
-                if op == 0 {
-                    f.on_write(sub);
-                    last_write = now;
-                } else if f.read_allows_r(sub) {
-                    prop_assert!(
-                        now - last_write <= k as f64 * s_len + 1e-9,
-                        "k={} R allowed at age {}", k, now - last_write
-                    );
-                }
+    for k in [2u8, 4, 8] {
+        let mut f = LwtFlags::new(k);
+        let s_len = 1.0;
+        let mut now = 0.0f64;
+        let mut last_write = f64::NEG_INFINITY;
+        let mut last_scrub = 0.0f64;
+        for &(op, dt) in ops {
+            now += dt;
+            while now - last_scrub >= k as f64 * s_len {
+                last_scrub += k as f64 * s_len;
+                f.on_scrub(false);
+            }
+            let sub = (((now - last_scrub) / s_len) as u8).min(k - 1);
+            if op == 0 {
+                f.on_write(sub);
+                last_write = now;
+            } else if f.read_allows_r(sub) && now - last_write > k as f64 * s_len + 1e-9 {
+                return Err(format!("k={} R allowed at age {}", k, now - last_write));
             }
         }
     }
+    Ok(())
+}
 
-    /// Trace serialisation round-trips for arbitrary generated traces.
-    #[test]
-    fn trace_format_round_trips(seed in any::<u64>(), instr in 1_000u64..20_000) {
-        let t = TraceGenerator::new(seed).generate(&Workload::toy(), instr, 2);
-        let mut buf = Vec::new();
-        write_trace(&t, &mut buf).unwrap();
-        prop_assert_eq!(read_trace(&buf[..]).unwrap(), t);
-    }
+/// LWT flag safety over random op sequences.
+#[test]
+fn lwt_flags_safety() {
+    check(
+        "lwt_flags_safety",
+        |rng| {
+            let len = rng.gen_range(1usize..=79);
+            (0..len)
+                .map(|_| (rng.gen_range(0u8..3), rng.gen_range(0.0f64..0.5)))
+                .collect::<Vec<_>>()
+        },
+        |ops| lwt_flags_safety_prop(ops),
+    );
+}
+
+/// Regression case cc b2cf3c1f (from the retired
+/// `tests/proptests.proptest-regressions`): a long burst of writes whose
+/// timestamps straddle a scrub boundary, followed by reads — the pattern
+/// that once let a stale flag survive the scrub.
+#[test]
+fn lwt_flags_safety_regression_b2cf3c1f() {
+    let ops: Vec<(u8, f64)> = vec![
+        (0, 0.3947538264379814),
+        (0, 0.48751012065678373),
+        (0, 0.40981034828869795),
+        (0, 0.2995417221605503),
+        (0, 0.09134815778152308),
+        (0, 0.4363682083537715),
+        (0, 0.4263829786348656),
+        (0, 0.4640976361829309),
+        (0, 0.34880520364353806),
+        (0, 0.32581659319327305),
+        (0, 0.4641018554403862),
+        (0, 0.22965626196361133),
+        (0, 0.40796001606509386),
+        (0, 0.3129958785727388),
+        (0, 0.2092185219202652),
+        (0, 0.44924386823809564),
+        (0, 0.3932798375585406),
+        (0, 0.18131113594256373),
+        (0, 0.4594243050057818),
+        (0, 0.3251214899930796),
+        (0, 0.11036746582274844),
+        (0, 0.48481295582556194),
+        (0, 0.026561644968392636),
+        (0, 0.1768765003065098),
+        (0, 0.06888761789490826),
+        (0, 0.14623522039291043),
+        (0, 0.4385122682931762),
+        (0, 0.45022997436871925),
+        (1, 0.48573678310745905),
+        (1, 0.47908870280615845),
+        (1, 0.31707519272722506),
+        (1, 0.3063272057319298),
+        (1, 0.39786727545192424),
+        (1, 0.48485397355227466),
+        (1, 0.4646740937180242),
+        (1, 0.22554511247324466),
+        (1, 0.1550355201107649),
+        (1, 0.23048674579448336),
+        (1, 0.12296229657323753),
+        (1, 0.187538551880757),
+        (1, 0.178585849031391),
+    ];
+    lwt_flags_safety_prop(&ops).expect("pinned regression case must pass");
+}
+
+/// Trace serialisation round-trips for arbitrary generated traces.
+#[test]
+fn trace_format_round_trips() {
+    check(
+        "trace_format_round_trips",
+        |rng| (rng.gen::<u64>(), rng.gen_range(1_000u64..20_000)),
+        |&(seed, instr)| {
+            if !(1_000..20_000).contains(&instr) {
+                return Ok(());
+            }
+            let t = TraceGenerator::new(seed).generate(&Workload::toy(), instr, 2);
+            let mut buf = Vec::new();
+            write_trace(&t, &mut buf).map_err(|e| format!("write failed: {e}"))?;
+            let back = read_trace(&buf[..]).map_err(|e| format!("read failed: {e}"))?;
+            ensure_eq!(back, t);
+            Ok(())
+        },
+    );
 }
