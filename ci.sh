@@ -15,6 +15,25 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+# The sweep executor's headline guarantee, run explicitly so a regression
+# names itself in CI output: parallel and sequential matrices must produce
+# identical reports.
+echo "==> parallel determinism (READDUO_THREADS=4 vs =1)"
+cargo test -q --release --test parallel_determinism
+
+# Timed smoke run: fig9 at a reduced volume must finish inside a generous
+# wall-clock budget. Catches accidental serialisation or hot-path
+# regressions (the budget is ~10x the expected time on a laptop core).
+echo "==> timed fig9 smoke (READDUO_INSTR=200000, budget 120 s)"
+start=$(date +%s)
+READDUO_INSTR=200000 ./target/release/fig9 >/dev/null
+elapsed=$(( $(date +%s) - start ))
+echo "    fig9 smoke took ${elapsed}s"
+if [ "$elapsed" -gt 120 ]; then
+    echo "    FAIL: fig9 smoke exceeded the 120 s budget" >&2
+    exit 1
+fi
+
 # Clippy ships with rustup toolchains but may be absent in minimal
 # containers; the gate is advisory there rather than a hard failure.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -6,11 +6,13 @@
 //! Sample count is tunable via `READDUO_BENCH_SAMPLES`.
 
 use readduo_bench::micro::Micro;
+use readduo_bench::Harness;
 use readduo_core::{common::DriftSampler, SchemeKind};
 use readduo_ecc::Bch;
 use readduo_math::{erfc, GaussLegendre};
 use readduo_memsim::{MemoryConfig, Simulator};
 use readduo_pcm::MetricConfig;
+use readduo_pool::Pool;
 use readduo_reliability::{CellErrorModel, LerAnalysis};
 use readduo_trace::{TraceGenerator, Workload};
 
@@ -75,6 +77,34 @@ fn bench_simulator(m: &mut Micro) {
     }
 }
 
+fn bench_sweep(m: &mut Micro) {
+    eprintln!("sweep:");
+    let h = Harness {
+        instructions_per_core: 10_000,
+        cores: 2,
+        seed: 7,
+        memory: MemoryConfig::small_test(),
+    };
+    let w = Workload::toy();
+    let schemes = [SchemeKind::Ideal, SchemeKind::Scrubbing, SchemeKind::MMetric];
+    // Shared-trace path: one generation feeds every scheme of a workload.
+    m.bench("sweep/trace_gen_shared", || h.trace_for(&w));
+    // The pre-pool harness regenerated the trace once per matrix cell.
+    m.bench("sweep/trace_gen_per_scheme", || {
+        (0..schemes.len())
+            .map(|_| h.trace_for(&w).total_reads())
+            .sum::<usize>()
+    });
+    let seq = Pool::new(1);
+    m.bench("sweep/matrix_1w3s_seq", || {
+        h.run_matrix_on(&seq, &schemes, std::slice::from_ref(&w))
+    });
+    let pool = Pool::from_env();
+    m.bench("sweep/matrix_1w3s_pool", || {
+        h.run_matrix_on(&pool, &schemes, std::slice::from_ref(&w))
+    });
+}
+
 fn main() {
     // `cargo bench` passes --bench (and optional filters) to the harness;
     // we run the full suite regardless.
@@ -83,5 +113,6 @@ fn main() {
     bench_bch(&mut m);
     bench_reliability(&mut m);
     bench_simulator(&mut m);
+    bench_sweep(&mut m);
     m.finish();
 }

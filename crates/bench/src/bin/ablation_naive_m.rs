@@ -61,7 +61,8 @@ fn main() {
                 TraceGenerator::new(harness.seed).generate(&w, harness.instructions_per_core, 4);
             let warm =
                 (w.footprint_lines as f64 * w.locality.written_fraction) as u64;
-            let mut ideal = readduo_core::SchemeKind::Ideal.build_for(harness.seed, warm);
+            let mut ideal =
+                readduo_core::SchemeKind::Ideal.build_for(harness.seed, warm, w.footprint_lines);
             let base = sim.run(&trace, ideal.as_mut());
             let mut dev = SlowM {
                 inner: MMetricScheme::paper(harness.seed),

@@ -1,0 +1,115 @@
+//! Sweep-executor benchmark: times the Figure-9 headline matrix end to
+//! end, verifies the parallel sweep reproduces the sequential reports
+//! bit-for-bit, runs the `sweep` microbench group, and writes the whole
+//! record to `BENCH_sweep.json` (run from the repo root).
+//!
+//! `READDUO_INSTR` sets the volume (default one million instructions per
+//! core — the acceptance configuration); `READDUO_THREADS` sets the
+//! parallel pool width.
+
+use readduo_bench::micro::Micro;
+use readduo_bench::Harness;
+use readduo_core::SchemeKind;
+use readduo_memsim::MemoryConfig;
+use readduo_pool::Pool;
+use readduo_trace::Workload;
+use std::time::Instant;
+
+/// Sequential Figure-9 wall clock of the pre-pool harness (PR 1) at one
+/// million instructions/core on the reference container — the recorded
+/// baseline this PR's speedup is measured against.
+const PR1_SEQUENTIAL_MS: f64 = 1421.0;
+
+fn main() {
+    let h = Harness::from_env();
+    let schemes = SchemeKind::headline();
+    let workloads = Workload::spec2006();
+    let threads = Pool::from_env().workers();
+    eprintln!(
+        "timing {} schemes x {} workloads at {} instr/core ({} thread(s)) …",
+        schemes.len(),
+        workloads.len(),
+        h.instructions_per_core,
+        threads
+    );
+
+    // Sequential first, from a cold process — this includes the one-time
+    // drift-curve tabulation, exactly like the recorded PR 1 baseline.
+    let t = Instant::now();
+    let seq = h.run_matrix_on(&Pool::new(1), &schemes, &workloads);
+    let sequential_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let par = h.run_matrix_on(&Pool::from_env(), &schemes, &workloads);
+    let parallel_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let seq2 = h.run_matrix_on(&Pool::new(1), &schemes, &workloads);
+    let sequential_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let identical = seq.len() == par.len()
+        && seq
+            .iter()
+            .zip(&par)
+            .chain(seq.iter().zip(&seq2))
+            .all(|(a, b)| a.report == b.report && a.scheme == b.scheme);
+    assert!(identical, "parallel sweep diverged from sequential sweep");
+    eprintln!(
+        "sequential(cold) {sequential_cold_ms:.0} ms, sequential(warm) {sequential_warm_ms:.0} ms, \
+         parallel(warm, {threads} thread(s)) {parallel_warm_ms:.0} ms — reports identical"
+    );
+
+    // The `sweep` microbench group on the tiny matrix (fast, stable).
+    let mut m = Micro::new();
+    {
+        let tiny = Harness {
+            instructions_per_core: 10_000,
+            cores: 2,
+            seed: 7,
+            memory: MemoryConfig::small_test(),
+        };
+        let w = Workload::toy();
+        let tiny_schemes = [SchemeKind::Ideal, SchemeKind::Scrubbing, SchemeKind::MMetric];
+        m.bench("sweep/trace_gen_shared", || tiny.trace_for(&w));
+        m.bench("sweep/trace_gen_per_scheme", || {
+            (0..tiny_schemes.len())
+                .map(|_| tiny.trace_for(&w).total_reads())
+                .sum::<usize>()
+        });
+        let pool1 = Pool::new(1);
+        m.bench("sweep/matrix_1w3s_seq", || {
+            tiny.run_matrix_on(&pool1, &tiny_schemes, std::slice::from_ref(&w))
+        });
+        let pool = Pool::from_env();
+        m.bench("sweep/matrix_1w3s_pool", || {
+            tiny.run_matrix_on(&pool, &tiny_schemes, std::slice::from_ref(&w))
+        });
+    }
+    let micro_json = m.to_json();
+    // Indent the embedded micro document two levels.
+    let micro_indented = micro_json
+        .trim_end()
+        .lines()
+        .enumerate()
+        .map(|(i, l)| if i == 0 { l.to_string() } else { format!("  {l}") })
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let json = format!(
+        "{{\n  \"schema\": \"readduo-bench-sweep-v1\",\n  \"generated_by\": \"cargo run --release -p readduo-bench --bin bench_sweep\",\n  \"instructions_per_core\": {instr},\n  \"parallel_threads\": {threads},\n  \"fig9_matrix\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"baseline_pr1_sequential_ms\": {base:.0},\n    \"sequential_cold_ms\": {cold:.0},\n    \"sequential_warm_ms\": {warm:.0},\n    \"parallel_warm_ms\": {par:.0},\n    \"speedup_vs_pr1_baseline\": {speedup:.2}\n  }},\n  \"parallel_equals_sequential\": {identical},\n  \"micro\": {micro}\n}}\n",
+        instr = h.instructions_per_core,
+        threads = threads,
+        nschemes = schemes.len(),
+        nworkloads = workloads.len(),
+        base = PR1_SEQUENTIAL_MS,
+        cold = sequential_cold_ms,
+        warm = sequential_warm_ms,
+        par = parallel_warm_ms,
+        speedup = PR1_SEQUENTIAL_MS / sequential_cold_ms.min(parallel_warm_ms),
+        identical = identical,
+        micro = micro_indented,
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("{json}");
+    eprintln!("[json] BENCH_sweep.json");
+}

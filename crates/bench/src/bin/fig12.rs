@@ -6,20 +6,23 @@ use readduo_trace::Workload;
 
 fn main() {
     let harness = Harness::from_env();
-    let schemes = [
-        SchemeKind::Ideal,
-        SchemeKind::Lwt { k: 2 },
-        SchemeKind::Lwt { k: 4 },
-        SchemeKind::Lwt { k: 8 },
-    ];
+    let k_points: [u8; 3] = [2, 4, 8];
+    let schemes: Vec<SchemeKind> = std::iter::once(SchemeKind::Ideal)
+        .chain(k_points.iter().map(|&k| SchemeKind::Lwt { k }))
+        .collect();
     let workloads = Workload::spec2006();
     eprintln!(
-        "running {} schemes x {} workloads at {} instr/core …",
-        schemes.len(),
+        "sweeping k over {:?} across {} workloads at {} instr/core …",
+        k_points,
         workloads.len(),
         harness.instructions_per_core
     );
-    let results = harness.run_matrix(&schemes, &workloads);
+    let results = harness.sweep(
+        SchemeKind::Ideal,
+        &k_points,
+        |&k| SchemeKind::Lwt { k },
+        &workloads,
+    );
     let rows = normalized(&results, SchemeKind::Ideal, |r| r.exec_ns as f64);
 
     let mut header: Vec<String> = vec!["workload".into()];

@@ -7,20 +7,23 @@ use readduo_trace::Workload;
 
 fn main() {
     let harness = Harness::from_env();
-    let schemes = [
-        SchemeKind::Ideal,
-        SchemeKind::Select { k: 4, s: 1 },
-        SchemeKind::Select { k: 4, s: 2 },
-        SchemeKind::Select { k: 4, s: 4 },
-    ];
+    let s_points: [u8; 3] = [1, 2, 4];
+    let schemes: Vec<SchemeKind> = std::iter::once(SchemeKind::Ideal)
+        .chain(s_points.iter().map(|&s| SchemeKind::Select { k: 4, s }))
+        .collect();
     let workloads = Workload::spec2006();
     eprintln!(
-        "running {} schemes x {} workloads at {} instr/core …",
-        schemes.len(),
+        "sweeping Select window s over {:?} across {} workloads at {} instr/core …",
+        s_points,
         workloads.len(),
         harness.instructions_per_core
     );
-    let results = harness.run_matrix(&schemes, &workloads);
+    let results = harness.sweep(
+        SchemeKind::Ideal,
+        &s_points,
+        |&s| SchemeKind::Select { k: 4, s },
+        &workloads,
+    );
     let rows = normalized(&results, SchemeKind::Ideal, |r| r.energy_total_pj());
 
     let mut header: Vec<String> = vec!["workload".into()];

@@ -29,9 +29,11 @@ pub mod micro;
 
 use readduo_core::{EdapInputs, SchemeKind};
 use readduo_memsim::{MemoryConfig, SimReport, Simulator};
-use readduo_trace::{TraceGenerator, Workload};
+use readduo_pool::Pool;
+use readduo_trace::{Trace, TraceGenerator, Workload};
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// One (workload, scheme) simulation result.
 #[derive(Debug, Clone)]
@@ -72,17 +74,37 @@ impl Harness {
         }
     }
 
-    /// Runs one (workload, scheme) pair.
-    pub fn run_one(&self, workload: &Workload, scheme: SchemeKind) -> RunResult {
-        let trace =
-            TraceGenerator::new(self.seed).generate(workload, self.instructions_per_core, self.cores);
+    /// Generates the trace for one workload (deterministic in the seed).
+    ///
+    /// Traces are the matrix's shared input: `run_matrix` builds each
+    /// workload's trace exactly once and every scheme simulates against
+    /// the same `Arc`.
+    pub fn trace_for(&self, workload: &Workload) -> Arc<Trace> {
+        Arc::new(TraceGenerator::new(self.seed).generate(
+            workload,
+            self.instructions_per_core,
+            self.cores,
+        ))
+    }
+
+    /// Runs one scheme against an already-generated trace.
+    pub fn run_on_trace(
+        &self,
+        workload: &Workload,
+        trace: &Trace,
+        scheme: SchemeKind,
+    ) -> RunResult {
         let sim = Simulator::new(self.memory);
         // Lines below the warm boundary are in write steady state; the
         // schemes treat them as recently written (pre-window).
         let warm_boundary = (workload.footprint_lines.max(16) as f64
             * workload.locality.written_fraction) as u64;
-        let mut device = scheme.build_for(self.seed ^ workload.name.len() as u64, warm_boundary);
-        let report = sim.run(&trace, device.as_mut());
+        let mut device = scheme.build_for(
+            self.seed ^ workload.name.len() as u64,
+            warm_boundary,
+            workload.footprint_lines,
+        );
+        let report = sim.run(trace, device.as_mut());
         RunResult {
             workload: workload.name,
             scheme,
@@ -90,15 +112,73 @@ impl Harness {
         }
     }
 
-    /// Runs the full `schemes × workloads` matrix.
+    /// Runs one (workload, scheme) pair.
+    ///
+    /// Thin wrapper over [`trace_for`] + [`run_on_trace`]; the trace is
+    /// built once, not once per scheme as the pre-pool harness did.
+    ///
+    /// [`trace_for`]: Harness::trace_for
+    /// [`run_on_trace`]: Harness::run_on_trace
+    pub fn run_one(&self, workload: &Workload, scheme: SchemeKind) -> RunResult {
+        let trace = self.trace_for(workload);
+        self.run_on_trace(workload, &trace, scheme)
+    }
+
+    /// Runs the full `schemes × workloads` matrix on the ambient pool
+    /// ([`Pool::from_env`]; `READDUO_THREADS=1` forces sequential).
     pub fn run_matrix(&self, schemes: &[SchemeKind], workloads: &[Workload]) -> Vec<RunResult> {
-        let mut out = Vec::with_capacity(schemes.len() * workloads.len());
-        for w in workloads {
-            for &s in schemes {
-                out.push(self.run_one(w, s));
-            }
-        }
-        out
+        self.run_matrix_on(&Pool::from_env(), schemes, workloads)
+    }
+
+    /// Runs the matrix on an explicit pool.
+    ///
+    /// Trace generation is itself fanned out (one task per workload); each
+    /// trace is then shared across schemes via `Arc`, and the (workload,
+    /// scheme) pairs go to the pool in workload-major order. Because
+    /// [`Pool::map`] positions results by input index, the returned vector
+    /// is in exactly the order the old sequential nested loop produced —
+    /// regardless of which worker finished first — and, since every task
+    /// seeds its own RNG streams from `(seed, workload)`, bit-for-bit
+    /// identical to a sequential run.
+    pub fn run_matrix_on(
+        &self,
+        pool: &Pool,
+        schemes: &[SchemeKind],
+        workloads: &[Workload],
+    ) -> Vec<RunResult> {
+        let traces: Vec<Arc<Trace>> =
+            pool.map(workloads.to_vec(), |_, w| self.trace_for(&w));
+        let tasks: Vec<(Workload, Arc<Trace>, SchemeKind)> = workloads
+            .iter()
+            .zip(&traces)
+            .flat_map(|(w, trace)| {
+                schemes
+                    .iter()
+                    .map(move |&s| (w.clone(), Arc::clone(trace), s))
+            })
+            .collect();
+        pool.map(tasks, |_, (w, trace, s)| self.run_on_trace(&w, &trace, s))
+    }
+
+    /// Parallel sensitivity sweep à la Figs. 12–13: one baseline scheme
+    /// plus one scheme per sweep point (k values, Select windows, …).
+    ///
+    /// Equivalent to `run_matrix(&[baseline, scheme_of(&p0), …], workloads)`
+    /// — every workload trace is generated once and shared across the
+    /// baseline and all points, and the whole `(1 + points) × workloads`
+    /// product is fanned out to the pool at once rather than point by
+    /// point.
+    pub fn sweep<P>(
+        &self,
+        baseline: SchemeKind,
+        points: &[P],
+        scheme_of: impl Fn(&P) -> SchemeKind,
+        workloads: &[Workload],
+    ) -> Vec<RunResult> {
+        let mut schemes = Vec::with_capacity(points.len() + 1);
+        schemes.push(baseline);
+        schemes.extend(points.iter().map(scheme_of));
+        self.run_matrix(&schemes, workloads)
     }
 }
 
@@ -198,8 +278,11 @@ pub fn fmt_prob(p: readduo_math::LogProb) -> String {
     }
 }
 
-/// Renders an aligned text table.
+/// Renders an aligned text table. An empty header yields an empty string.
 pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    if header.is_empty() {
+        return String::new();
+    }
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -265,6 +348,52 @@ mod tests {
         );
         assert!(t.contains("333"));
         assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn empty_header_renders_empty_table() {
+        // Regression: `widths.len() - 1` used to underflow here.
+        assert_eq!(render_table(&[], &[]), "");
+        assert_eq!(render_table(&[], &[vec!["orphan".into()]]), "");
+    }
+
+    #[test]
+    fn run_one_matches_matrix_entry() {
+        // The thin wrapper and the pooled matrix path must agree exactly.
+        let h = tiny_harness();
+        let w = Workload::toy();
+        let lone = h.run_one(&w, SchemeKind::Ideal);
+        let matrix = h.run_matrix_on(
+            &readduo_pool::Pool::new(2),
+            &[SchemeKind::Ideal],
+            std::slice::from_ref(&w),
+        );
+        assert_eq!(lone.report, matrix[0].report);
+    }
+
+    #[test]
+    fn sweep_matches_run_matrix() {
+        let h = tiny_harness();
+        let workloads = [Workload::toy()];
+        let by_sweep = h.sweep(
+            SchemeKind::Ideal,
+            &[2u8, 4],
+            |&k| SchemeKind::Lwt { k },
+            &workloads,
+        );
+        let by_matrix = h.run_matrix(
+            &[
+                SchemeKind::Ideal,
+                SchemeKind::Lwt { k: 2 },
+                SchemeKind::Lwt { k: 4 },
+            ],
+            &workloads,
+        );
+        assert_eq!(by_sweep.len(), by_matrix.len());
+        for (a, b) in by_sweep.iter().zip(&by_matrix) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.report, b.report);
+        }
     }
 
     #[test]

@@ -177,6 +177,27 @@ impl Micro {
         &self.results
     }
 
+    /// Serialises the collected results as a JSON document (schema
+    /// `readduo-micro-v1`). Hand-rolled emitter — the only value types are
+    /// strings, finite floats, and integers, so no serde is needed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"readduo-micro-v1\",\n  \"results\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": {:?}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"batch\": {}, \"samples\": {}}}{}\n",
+                s.name,
+                s.median_ns(),
+                s.p95_ns(),
+                s.batch,
+                s.per_call_ns.len(),
+                comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Prints the final median/p95 table to stdout.
     pub fn finish(self) {
         println!("\n{:<30} {:>12} {:>12}", "benchmark", "median", "p95");
@@ -224,6 +245,24 @@ mod tests {
             assert!(s.median_ns() >= 0.0);
             assert!(s.p95_ns() >= s.median_ns());
         }
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let mut m = Micro {
+            samples_per_bench: 3,
+            results: Vec::new(),
+        };
+        m.results.push(Samples {
+            name: "g/case".into(),
+            per_call_ns: vec![1.0, 2.0, 3.0],
+            batch: 8,
+        });
+        let j = m.to_json();
+        assert!(j.contains("\"readduo-micro-v1\""));
+        assert!(j.contains("\"g/case\""));
+        assert!(j.contains("\"median_ns\": 2.0"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -6,9 +6,23 @@
 //! was last fully written `cold_age_s` seconds before the simulation epoch
 //! (plus a per-line jitter so ages do not align), and its LWT flags are
 //! clear (untracked).
+//!
+//! Storage is two-tier: lines inside the declared *dense region* (the
+//! workload footprint, where virtually every access lands) live in a flat
+//! `Vec` indexed by line id, so the per-access hot path is a bounds check
+//! and an array load instead of a hash probe; anything beyond — the sparse
+//! scrub-visited remainder of the address space — falls back to a
+//! `HashMap`. The default materialised for a first touch is a pure
+//! function of the line id and the touch time, so which tier a line lands
+//! in never affects simulation results.
 
 use crate::flags::LwtFlags;
 use std::collections::HashMap;
+
+/// Upper bound on the dense tier, in lines (~128 MiB of `LineState` at
+/// 32 B each). Paper footprints top out around 1.4 M lines; a caller
+/// declaring something absurd falls back to the hash tier beyond the cap.
+const DENSE_CAP: u64 = 1 << 22;
 
 /// Mutable per-line tracking state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +40,11 @@ pub struct LineState {
 /// Sparse line-state table.
 #[derive(Debug, Clone)]
 pub struct LineTable {
+    /// Dense tier: direct-indexed state for lines below `dense.len()`.
+    dense: Vec<Option<LineState>>,
+    /// Materialised entries in the dense tier (kept so `touched` is O(1)).
+    dense_touched: usize,
+    /// Sparse tier for everything past the dense region.
     map: HashMap<u64, LineState>,
     k: u8,
     scrub_interval_s: f64,
@@ -49,6 +68,8 @@ impl LineTable {
         assert!(scrub_interval_s > 0.0, "scrub interval must be positive");
         assert!(cold_age_s >= 0.0, "cold age must be non-negative");
         Self {
+            dense: Vec::new(),
+            dense_touched: 0,
             map: HashMap::new(),
             k,
             scrub_interval_s,
@@ -67,6 +88,24 @@ impl LineTable {
         self.warm_boundary = boundary;
     }
 
+    /// Declares `[0, lines)` the dense region — typically the workload
+    /// footprint — storing those lines' state in a direct-indexed `Vec`
+    /// instead of the hash map. Capped at [`DENSE_CAP`] lines; lines past
+    /// the cap still work through the hash tier. Must be called before any
+    /// line state is materialised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if state has already been materialised (re-tiering would
+    /// strand entries).
+    pub fn set_dense_region(&mut self, lines: u64) {
+        assert!(
+            self.touched() == 0,
+            "dense region must be declared before first touch"
+        );
+        self.dense = vec![None; lines.min(DENSE_CAP) as usize];
+    }
+
     /// Makes cold lines default to "fully written at their last scrub" —
     /// the steady state of a `W = 0` policy, which rewrites every line on
     /// every scrub visit.
@@ -75,9 +114,9 @@ impl LineTable {
         self
     }
 
-    /// Number of lines with materialised state.
+    /// Number of lines with materialised state (both tiers).
     pub fn touched(&self) -> usize {
-        self.map.len()
+        self.dense_touched + self.map.len()
     }
 
     /// Scrub interval `S`.
@@ -99,58 +138,74 @@ impl LineTable {
         (x >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    /// The deterministic first-touch default for `line` at `now_s` — a
+    /// pure function of the line id and touch time, independent of which
+    /// storage tier the line lands in.
+    fn default_state(&self, line: u64, now_s: f64) -> LineState {
+        let k = self.k;
+        let s = self.scrub_interval_s;
+        let sub_len = s / k as f64;
+        let j = Self::jitter(line);
+        // Anchor the line's scrub phase before time 0 and roll it
+        // forward to the most recent visit not after `now_s`.
+        let phase = j * s;
+        let cycles = ((now_s - phase) / s).floor().max(0.0);
+        let last_scrub_s = phase - s + cycles * s;
+        if line < self.warm_boundary {
+            // Steady-state warm line: last written `j2·S/2` ago (data
+            // that is actively written skews young); flags replay that
+            // write (and the scrub, if one intervened).
+            let j2 = Self::jitter(line ^ 0xABCD_EF01_2345_6789);
+            let write_t = now_s - j2 * s * 0.5;
+            let mut flags = LwtFlags::new(k);
+            if write_t >= last_scrub_s {
+                let sub = (((write_t - last_scrub_s) / sub_len) as u8).min(k - 1);
+                flags.on_write(sub);
+            } else {
+                // Written in the previous cycle, then scrubbed.
+                let prev_scrub = last_scrub_s - s;
+                let sub = (((write_t - prev_scrub).max(0.0) / sub_len) as u8).min(k - 1);
+                flags.on_write(sub);
+                flags.on_scrub(false);
+            }
+            return LineState {
+                last_full_write_s: write_t,
+                last_scrub_s,
+                flags,
+            };
+        }
+        LineState {
+            last_full_write_s: if self.cold_at_scrub {
+                last_scrub_s
+            } else {
+                -(self.cold_age_s * (1.0 + j))
+            },
+            last_scrub_s,
+            flags: LwtFlags::new(k),
+        }
+    }
+
     /// The state of `line`, materialising the cold default on first touch.
     ///
     /// Cold default: last full write `cold_age_s·(1 + jitter)` before time
     /// 0; last scrub within the past interval (the scrub engine visits
-    /// every line once per `S`); flags clear.
+    /// every line once per `S`); flags clear. Lines inside the dense
+    /// region resolve with a direct array index; the rest hash.
     pub fn get_mut(&mut self, line: u64, now_s: f64) -> &mut LineState {
-        let k = self.k;
-        let s = self.scrub_interval_s;
-        let sub_len = s / k as f64;
-        let cold = self.cold_age_s;
-        let cold_at_scrub = self.cold_at_scrub;
-        let warm = line < self.warm_boundary;
-        self.map.entry(line).or_insert_with(|| {
-            let j = Self::jitter(line);
-            // Anchor the line's scrub phase before time 0 and roll it
-            // forward to the most recent visit not after `now_s`.
-            let phase = j * s;
-            let cycles = ((now_s - phase) / s).floor().max(0.0);
-            let last_scrub_s = phase - s + cycles * s;
-            if warm {
-                // Steady-state warm line: last written `j2·S/2` ago (data
-                // that is actively written skews young); flags replay that
-                // write (and the scrub, if one intervened).
-                let j2 = Self::jitter(line ^ 0xABCD_EF01_2345_6789);
-                let write_t = now_s - j2 * s * 0.5;
-                let mut flags = LwtFlags::new(k);
-                if write_t >= last_scrub_s {
-                    let sub = (((write_t - last_scrub_s) / sub_len) as u8).min(k - 1);
-                    flags.on_write(sub);
-                } else {
-                    // Written in the previous cycle, then scrubbed.
-                    let prev_scrub = last_scrub_s - s;
-                    let sub = (((write_t - prev_scrub).max(0.0) / sub_len) as u8).min(k - 1);
-                    flags.on_write(sub);
-                    flags.on_scrub(false);
-                }
-                return LineState {
-                    last_full_write_s: write_t,
-                    last_scrub_s,
-                    flags,
-                };
+        if (line as usize) < self.dense.len() {
+            let idx = line as usize;
+            if self.dense[idx].is_none() {
+                let st = self.default_state(line, now_s);
+                self.dense[idx] = Some(st);
+                self.dense_touched += 1;
             }
-            LineState {
-                last_full_write_s: if cold_at_scrub {
-                    last_scrub_s
-                } else {
-                    -(cold * (1.0 + j))
-                },
-                last_scrub_s,
-                flags: LwtFlags::new(k),
-            }
-        })
+            return self.dense[idx].as_mut().expect("just materialised");
+        }
+        if !self.map.contains_key(&line) {
+            let st = self.default_state(line, now_s);
+            self.map.insert(line, st);
+        }
+        self.map.get_mut(&line).expect("just materialised")
     }
 
     /// The LWT sub-interval a time belongs to, relative to the line's last
@@ -225,5 +280,44 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_rejected() {
         let _ = LineTable::new(4, 0.0, 1.0);
+    }
+
+    #[test]
+    fn dense_tier_matches_hash_tier() {
+        // Identical defaults and mutations whichever tier a line sits in.
+        let mut hash_only = LineTable::new(4, 640.0, 1e6);
+        hash_only.set_warm_region(50);
+        let mut tiered = LineTable::new(4, 640.0, 1e6);
+        tiered.set_warm_region(50);
+        tiered.set_dense_region(100);
+        for line in [0u64, 7, 49, 50, 99, 100, 5000] {
+            assert_eq!(
+                *hash_only.get_mut(line, 123.0),
+                *tiered.get_mut(line, 123.0),
+                "first touch differs for line {line}"
+            );
+            hash_only.get_mut(line, 200.0).last_full_write_s = 150.0;
+            tiered.get_mut(line, 200.0).last_full_write_s = 150.0;
+            assert_eq!(*hash_only.get_mut(line, 250.0), *tiered.get_mut(line, 250.0));
+        }
+        assert_eq!(hash_only.touched(), tiered.touched());
+    }
+
+    #[test]
+    fn touched_spans_both_tiers() {
+        let mut t = LineTable::new(2, 8.0, 1e5);
+        t.set_dense_region(10);
+        t.get_mut(3, 0.0); // dense
+        t.get_mut(3, 1.0); // dense hit, not a new touch
+        t.get_mut(999, 0.0); // hash
+        assert_eq!(t.touched(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before first touch")]
+    fn dense_region_after_touch_rejected() {
+        let mut t = LineTable::new(2, 8.0, 1e5);
+        t.get_mut(1, 0.0);
+        t.set_dense_region(10);
     }
 }

@@ -68,36 +68,59 @@ impl SchemeKind {
     }
 
     /// Builds the device model, seeding its RNG streams. Equivalent to
-    /// [`build_for`] with an empty warm region.
+    /// [`build_for`] with an empty warm region and no dense footprint.
     ///
     /// [`build_for`]: SchemeKind::build_for
     pub fn build(&self, seed: u64) -> Box<dyn DeviceModel> {
-        self.build_for(seed, 0)
+        self.build_for(seed, 0, 0)
     }
 
     /// Builds the device model for a workload whose warm (actively
     /// written) region spans lines `[0, warm_boundary)` — those lines
-    /// default to steady-state recent writes instead of ancient ones.
-    pub fn build_for(&self, seed: u64, warm_boundary: u64) -> Box<dyn DeviceModel> {
+    /// default to steady-state recent writes instead of ancient ones —
+    /// and whose footprint spans lines `[0, footprint_lines)`, stored
+    /// densely (direct-indexed) instead of hashed. Both regions only
+    /// affect performance/defaults, never which lines are representable:
+    /// `footprint_lines = 0` keeps everything in the hash tier.
+    pub fn build_for(
+        &self,
+        seed: u64,
+        warm_boundary: u64,
+        footprint_lines: u64,
+    ) -> Box<dyn DeviceModel> {
         match *self {
             SchemeKind::Ideal => Box::new(FixedLatencyDevice::ideal()),
-            SchemeKind::Scrubbing => {
-                Box::new(ScrubbingScheme::paper(seed).with_warm_region(warm_boundary))
+            SchemeKind::Scrubbing => Box::new(
+                ScrubbingScheme::paper(seed)
+                    .with_warm_region(warm_boundary)
+                    .with_dense_region(footprint_lines),
+            ),
+            SchemeKind::ScrubbingW0 => {
+                Box::new(ScrubbingScheme::paper_w0(seed).with_dense_region(footprint_lines))
             }
-            SchemeKind::ScrubbingW0 => Box::new(ScrubbingScheme::paper_w0(seed)),
-            SchemeKind::MMetric => {
-                Box::new(MMetricScheme::paper(seed).with_warm_region(warm_boundary))
+            SchemeKind::MMetric => Box::new(
+                MMetricScheme::paper(seed)
+                    .with_warm_region(warm_boundary)
+                    .with_dense_region(footprint_lines),
+            ),
+            SchemeKind::Hybrid => {
+                Box::new(HybridScheme::paper(seed).with_dense_region(footprint_lines))
             }
-            SchemeKind::Hybrid => Box::new(HybridScheme::paper(seed)),
-            SchemeKind::Lwt { k } => {
-                Box::new(LwtScheme::paper(seed, k).with_warm_region(warm_boundary))
-            }
-            SchemeKind::LwtNoConversion { k } => {
-                Box::new(LwtScheme::without_conversion(seed, k).with_warm_region(warm_boundary))
-            }
-            SchemeKind::Select { k, s } => {
-                Box::new(LwtScheme::select(seed, k, s).with_warm_region(warm_boundary))
-            }
+            SchemeKind::Lwt { k } => Box::new(
+                LwtScheme::paper(seed, k)
+                    .with_warm_region(warm_boundary)
+                    .with_dense_region(footprint_lines),
+            ),
+            SchemeKind::LwtNoConversion { k } => Box::new(
+                LwtScheme::without_conversion(seed, k)
+                    .with_warm_region(warm_boundary)
+                    .with_dense_region(footprint_lines),
+            ),
+            SchemeKind::Select { k, s } => Box::new(
+                LwtScheme::select(seed, k, s)
+                    .with_warm_region(warm_boundary)
+                    .with_dense_region(footprint_lines),
+            ),
             SchemeKind::Tlc => Box::new(TlcScheme::paper()),
         }
     }

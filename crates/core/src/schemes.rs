@@ -111,6 +111,13 @@ impl ScrubbingScheme {
         self.table.set_warm_region(boundary);
         self
     }
+
+    /// Declares `[0, lines)` the dense-storage region — normally the
+    /// workload footprint (see [`LineTable::set_dense_region`]).
+    pub fn with_dense_region(mut self, lines: u64) -> Self {
+        self.table.set_dense_region(lines);
+        self
+    }
 }
 
 impl DeviceModel for ScrubbingScheme {
@@ -199,6 +206,13 @@ impl MMetricScheme {
         self.table.set_warm_region(boundary);
         self
     }
+
+    /// Declares `[0, lines)` the dense-storage region — normally the
+    /// workload footprint (see [`LineTable::set_dense_region`]).
+    pub fn with_dense_region(mut self, lines: u64) -> Self {
+        self.table.set_dense_region(lines);
+        self
+    }
 }
 
 impl DeviceModel for MMetricScheme {
@@ -278,6 +292,13 @@ impl HybridScheme {
     /// Side counters.
     pub fn counters(&self) -> SchemeCounters {
         self.counters
+    }
+
+    /// Declares `[0, lines)` the dense-storage region — normally the
+    /// workload footprint (see [`LineTable::set_dense_region`]).
+    pub fn with_dense_region(mut self, lines: u64) -> Self {
+        self.table.set_dense_region(lines);
+        self
     }
 
     /// The three-band read path shared with the LWT schemes.
@@ -442,6 +463,13 @@ impl LwtScheme {
     /// [`LineTable::set_warm_region`]).
     pub fn with_warm_region(mut self, boundary: u64) -> Self {
         self.table.set_warm_region(boundary);
+        self
+    }
+
+    /// Declares `[0, lines)` the dense-storage region — normally the
+    /// workload footprint (see [`LineTable::set_dense_region`]).
+    pub fn with_dense_region(mut self, lines: u64) -> Self {
+        self.table.set_dense_region(lines);
         self
     }
 }

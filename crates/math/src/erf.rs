@@ -1,10 +1,125 @@
 //! Error function family implemented from scratch.
 //!
-//! `erf` uses the classic Abramowitz & Stegun-free approach: a Taylor series
-//! for small arguments and a continued-fraction / asymptotic-free rational
-//! expansion (W. J. Cody style) for larger ones, giving ~1e-15 relative
-//! accuracy — enough for the reliability tables which bottom out around
-//! 1e-15 absolute.
+//! All four entry points evaluate W. J. Cody's rational Chebyshev
+//! approximations (the classic CALERF scheme, *Math. Comp.* 23, 1969):
+//! three fixed-degree rationals covering `|x| ≤ 0.46875`,
+//! `0.46875 < x ≤ 4` and `x > 4`, giving ~1 ulp relative accuracy for
+//! `erf`/`erfcx` at a flat cost of a dozen flops. This matters here: the
+//! drift-error curve tabulation evaluates `erfc` hundreds of thousands of
+//! times through the Gauss–Legendre integrand, and the
+//! continued-fraction/Maclaurin implementation this replaced needed up to
+//! 260 iterations per call.
+
+// The coefficient tables keep Cody's published ~20 significant digits
+// verbatim so they can be audited against the paper, even where f64
+// parsing rounds the trailing digits away.
+#![allow(clippy::excessive_precision)]
+
+/// `1/√π`.
+const FRAC_1_SQRT_PI: f64 = 0.564_189_583_547_756_28;
+
+/// Cody interval 1 (`|x| ≤ 0.46875`): numerator of `erf(x)/x` in `x²`.
+const A: [f64; 5] = [
+    3.161_123_743_870_565_6e0,
+    1.138_641_541_510_501_56e2,
+    3.774_852_376_853_020_2e2,
+    3.209_377_589_138_469_47e3,
+    1.857_777_061_846_031_53e-1,
+];
+/// Cody interval 1: denominator of `erf(x)/x` in `x²`.
+const B: [f64; 4] = [
+    2.360_129_095_234_412_09e1,
+    2.440_246_379_344_441_73e2,
+    1.282_616_526_077_372_28e3,
+    2.844_236_833_439_170_62e3,
+];
+/// Cody interval 2 (`0.46875 < x ≤ 4`): numerator of `erfcx(x)`.
+const C: [f64; 9] = [
+    5.641_884_969_886_700_89e-1,
+    8.883_149_794_388_375_94e0,
+    6.611_919_063_714_162_95e1,
+    2.986_351_381_974_001_31e2,
+    8.819_522_212_417_690_9e2,
+    1.712_047_612_634_070_58e3,
+    2.051_078_377_826_071_47e3,
+    1.230_339_354_797_997_25e3,
+    2.153_115_354_744_038_46e-8,
+];
+/// Cody interval 2: denominator of `erfcx(x)`.
+const D: [f64; 8] = [
+    1.574_492_611_070_983_47e1,
+    1.176_939_508_913_124_99e2,
+    5.371_811_018_620_098_58e2,
+    1.621_389_574_566_690_19e3,
+    3.290_799_235_733_459_63e3,
+    4.362_619_090_143_247_16e3,
+    3.439_367_674_143_721_64e3,
+    1.230_339_354_803_749_42e3,
+];
+/// Cody interval 3 (`x > 4`): numerator of `x·erfcx(x) − 1/√π` in `1/x²`.
+const P: [f64; 6] = [
+    3.053_266_349_612_323_44e-1,
+    3.603_448_999_498_044_39e-1,
+    1.257_817_261_112_292_46e-1,
+    1.608_378_514_874_227_66e-2,
+    6.587_491_615_298_378_03e-4,
+    1.631_538_713_730_209_78e-2,
+];
+/// Cody interval 3: denominator of `x·erfcx(x) − 1/√π` in `1/x²`.
+const Q: [f64; 5] = [
+    2.568_520_192_289_822_42e0,
+    1.872_952_849_923_460_47e0,
+    5.279_051_029_514_284_12e-1,
+    6.051_834_131_244_131_91e-2,
+    2.335_204_976_268_691_85e-3,
+];
+
+/// Cody's split threshold between the `erf` and `erfcx` rationals.
+const THRESH: f64 = 0.468_75;
+
+/// `erf(x)` on Cody interval 1 (`|x| ≤ THRESH`): odd rational in `x²`.
+fn erf_small(x: f64) -> f64 {
+    let z = x * x;
+    let mut num = A[4] * z;
+    let mut den = z;
+    for i in 0..3 {
+        num = (num + A[i]) * z;
+        den = (den + B[i]) * z;
+    }
+    x * (num + A[3]) / (den + B[3])
+}
+
+/// `erfcx(y) = e^{y²}·erfc(y)` for `y ≥ THRESH` (Cody intervals 2–3).
+fn erfcx_cody(y: f64) -> f64 {
+    if y <= 4.0 {
+        let mut num = C[8] * y;
+        let mut den = y;
+        for i in 0..7 {
+            num = (num + C[i]) * y;
+            den = (den + D[i]) * y;
+        }
+        (num + C[7]) / (den + D[7])
+    } else {
+        let z = 1.0 / (y * y);
+        let mut num = P[5] * z;
+        let mut den = z;
+        for i in 0..4 {
+            num = (num + P[i]) * z;
+            den = (den + Q[i]) * z;
+        }
+        let r = z * (num + P[4]) / (den + Q[4]);
+        (FRAC_1_SQRT_PI - r) / y
+    }
+}
+
+/// `e^{-y²}` with Cody's split-argument trick: the square is computed as
+/// `ysq² + (y−ysq)(y+ysq)` with `ysq` truncated to 1/16ths, so the large
+/// part of the exponent is exact and the tail keeps full precision.
+fn exp_neg_sq(y: f64) -> f64 {
+    let ysq = (y * 16.0).trunc() / 16.0;
+    let del = (y - ysq) * (y + ysq);
+    (-ysq * ysq).exp() * (-del).exp()
+}
 
 /// The error function `erf(x) = 2/sqrt(pi) * ∫_0^x e^{-t²} dt`.
 ///
@@ -21,16 +136,14 @@ pub fn erf(x: f64) -> f64 {
         return f64::NAN;
     }
     let ax = x.abs();
-    if ax < 1.75 {
-        erf_series(x)
+    if ax <= THRESH {
+        return erf_small(x);
+    }
+    let v = 1.0 - exp_neg_sq(ax) * erfcx_cody(ax);
+    if x < 0.0 {
+        -v
     } else {
-        let e = erfc_cody(ax);
-        let v = 1.0 - e;
-        if x < 0.0 {
-            -v
-        } else {
-            v
-        }
+        v
     }
 }
 
@@ -52,12 +165,12 @@ pub fn erfc(x: f64) -> f64 {
     if x < 0.0 {
         return 2.0 - erfc(-x);
     }
-    if x < 1.75 {
-        // erfc(1.75) ≈ 0.0133, so 1 - erf loses at most ~2 digits here while
-        // the continued fraction below would need hundreds of terms.
-        return 1.0 - erf_series(x);
+    if x <= THRESH {
+        // erf(0.46875) ≈ 0.493, so the subtraction loses < 1 bit.
+        return 1.0 - erf_small(x);
     }
-    erfc_cody(x)
+    // Underflows to 0 past x ≈ 26.6, like the true value (≈ 1e-308).
+    exp_neg_sq(x) * erfcx_cody(x)
 }
 
 /// Scaled complementary error function `erfcx(x) = e^{x²}·erfc(x)`.
@@ -72,29 +185,11 @@ pub fn erfc(x: f64) -> f64 {
 /// assert!((erfc_scaled(x) - approx).abs() / approx < 1e-3);
 /// ```
 pub fn erfc_scaled(x: f64) -> f64 {
-    if x < 1.75 {
+    if x < THRESH {
+        // Includes negative arguments, where the scaled form just grows.
         return (x * x).exp() * erfc(x);
     }
-    // Continued fraction for erfcx, Lentz's algorithm on
-    // erfcx(x) = x/sqrt(pi) * 1/(x^2 + 1/2/(1 + 2/2/(x^2 + 3/2/(1 + ...))))
-    // Use the standard CF: erfc(x) = e^{-x^2}/(x sqrt(pi)) * 1/(1 + 1/(2x^2)/(1 + 2/(2x^2)/(1 + ...)))
-    let inv2x2 = 1.0 / (2.0 * x * x);
-    let mut f = 1.0f64;
-    // Evaluate CF from the back with enough terms; convergence improves
-    // rapidly with x (only used for x >= 1.75 via erfc/erf).
-    let terms = if x < 1.0 {
-        600
-    } else if x < 2.0 {
-        260
-    } else if x < 4.0 {
-        90
-    } else {
-        40
-    };
-    for k in (1..=terms).rev() {
-        f = 1.0 + (k as f64) * inv2x2 / f;
-    }
-    1.0 / (x * std::f64::consts::PI.sqrt() * f)
+    erfcx_cody(x)
 }
 
 /// Natural log of `erfc(x)`, stable for very large `x` (deep tails).
@@ -106,10 +201,10 @@ pub fn erfc_scaled(x: f64) -> f64 {
 /// assert!((v + 403.9).abs() < 0.5);
 /// ```
 pub fn ln_erfc(x: f64) -> f64 {
-    if x < 1.75 {
+    if x < THRESH {
         erfc(x).ln()
     } else {
-        erfc_scaled(x).ln() - x * x
+        erfcx_cody(x).ln() - x * x
     }
 }
 
@@ -147,49 +242,6 @@ pub fn inverse_erf(y: f64) -> f64 {
         x -= err / deriv;
     }
     x
-}
-
-/// Maclaurin series for erf, used for |x| < 0.5 where it converges rapidly.
-fn erf_series(x: f64) -> f64 {
-    let x2 = x * x;
-    let mut term = x;
-    let mut sum = x;
-    for n in 1..120 {
-        let nf = n as f64;
-        term *= -x2 / nf;
-        let add = term / (2.0 * nf + 1.0);
-        sum += add;
-        if add.abs() < sum.abs() * 1e-17 {
-            break;
-        }
-    }
-    sum * 2.0 / std::f64::consts::PI.sqrt()
-}
-
-/// Cody-style rational evaluation of erfc for x >= 0.5.
-fn erfc_cody(x: f64) -> f64 {
-    debug_assert!(x >= 1.0);
-    if x > 27.0 {
-        // Below ~1e-318: underflows to 0 in f64; callers needing logs use
-        // `ln_erfc`.
-        return ln_erfc_asymptotic(x).exp();
-    }
-    (-x * x).exp() * erfc_scaled(x)
-}
-
-fn ln_erfc_asymptotic(x: f64) -> f64 {
-    // ln erfc(x) ≈ -x² - ln(x√π) + ln(1 - 1/(2x²) + 3/(4x⁴))
-    let x2 = x * x;
-    -x2 - (x * std::f64::consts::PI.sqrt()).ln() + (1.0 - 0.5 / x2 + 0.75 / (x2 * x2)).ln_1p_safe()
-}
-
-trait Ln1pSafe {
-    fn ln_1p_safe(self) -> f64;
-}
-impl Ln1pSafe for f64 {
-    fn ln_1p_safe(self) -> f64 {
-        (self - 1.0).ln_1p()
-    }
 }
 
 #[cfg(test)]
@@ -248,6 +300,16 @@ mod tests {
     fn erfc_left_side() {
         assert!((erfc(-1.0) - (2.0 - erfc(1.0))).abs() < 1e-15);
         assert!((erfc(0.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn erf_erfc_complementary_across_intervals() {
+        // Continuity across the three Cody intervals, including the
+        // THRESH and x = 4 joins.
+        for x in [0.1, 0.468, 0.469, 1.0, 2.7, 3.999, 4.001, 6.0] {
+            let s = erf(x) + erfc(x);
+            assert!((s - 1.0).abs() < 1e-14, "erf+erfc at {x}: {s}");
+        }
     }
 
     #[test]

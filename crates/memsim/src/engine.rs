@@ -35,7 +35,10 @@ struct Bank {
     waiters: VecDeque<usize>,
     /// Next line (bank-local index) the scrub register points at.
     scrub_ptr: u64,
-    /// Dedupe guard for scheduled kick events.
+    /// Time of the earliest *live* kick for this bank. A kick event whose
+    /// time does not match is superseded (an earlier kick was scheduled
+    /// after it) and is dropped on pop instead of re-kicking — lazy
+    /// deletion, since `BinaryHeap` cannot remove arbitrary entries.
     kick_scheduled_at: Option<u64>,
 }
 
@@ -266,7 +269,7 @@ impl<D: DeviceModel + ?Sized> Run<'_, D> {
                     outcome: out,
                     source: WriteSource::Demand,
                 });
-                self.schedule_kick(b, now.max(self.banks[b].busy_until));
+                self.schedule_kick_or_run(b, now.max(self.banks[b].busy_until), now);
                 // Posted write: the core moves on immediately.
                 self.advance_core(core, now)
             }
@@ -297,8 +300,38 @@ impl<D: DeviceModel + ?Sized> Run<'_, D> {
         }
     }
 
+    /// Like [`schedule_kick`], but when the kick is due *now* and no other
+    /// event shares this timestamp, runs it in place instead of paying a
+    /// heap push + pop: the pushed event would be the very next pop anyway
+    /// (everything already queued is strictly later), so the order of
+    /// simulated actions is unchanged. Posted writes to an idle bank hit
+    /// this path on every single write.
+    ///
+    /// [`schedule_kick`]: Run::schedule_kick
+    fn schedule_kick_or_run(&mut self, b: usize, at: u64, now: u64) {
+        if let Some(t) = self.banks[b].kick_scheduled_at {
+            if t <= at {
+                return;
+            }
+        }
+        if at == now && self.heap.peek().is_none_or(|&Reverse(e)| e.at > now) {
+            self.banks[b].kick_scheduled_at = Some(at);
+            self.bank_kick(b, at);
+        } else {
+            self.banks[b].kick_scheduled_at = Some(at);
+            self.push(at, EventKind::BankKick(b));
+        }
+    }
+
     /// Tries to start a queued write on bank `b`.
     fn bank_kick(&mut self, b: usize, now: u64) {
+        if self.banks[b].kick_scheduled_at != Some(now) {
+            // Superseded event: an earlier kick was scheduled after this
+            // one entered the heap, and it (or its successors) already
+            // covered this bank. Re-kicking would only spawn duplicate
+            // reschedules.
+            return;
+        }
         self.banks[b].kick_scheduled_at = None;
         if self.banks[b].busy_until > now {
             if !self.banks[b].queue.is_empty() {

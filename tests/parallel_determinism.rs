@@ -1,0 +1,50 @@
+//! Tier-1 guarantee of the sweep executor: the parallel matrix produces
+//! bit-for-bit the same `SimReport`s as the sequential one.
+//!
+//! Both runs happen inside a single `#[test]` so the `READDUO_THREADS`
+//! environment flips cannot race another test in this binary.
+
+use readduo::core::SchemeKind;
+use readduo::memsim::MemoryConfig;
+use readduo::trace::Workload;
+use readduo_bench::Harness;
+
+#[test]
+fn run_matrix_is_identical_across_thread_counts() {
+    let harness = Harness {
+        instructions_per_core: 40_000,
+        cores: 2,
+        seed: 0x00D5_EAD0_2016,
+        memory: MemoryConfig::small_test(),
+    };
+    let schemes = [
+        SchemeKind::Scrubbing,
+        SchemeKind::MMetric,
+        SchemeKind::Lwt { k: 4 },
+    ];
+    let workloads = [Workload::toy(), Workload::by_name("gcc").expect("gcc")];
+
+    std::env::set_var("READDUO_THREADS", "4");
+    let parallel = harness.run_matrix(&schemes, &workloads);
+    std::env::set_var("READDUO_THREADS", "1");
+    let sequential = harness.run_matrix(&schemes, &workloads);
+    std::env::remove_var("READDUO_THREADS");
+
+    assert_eq!(parallel.len(), schemes.len() * workloads.len());
+    assert_eq!(sequential.len(), parallel.len());
+    for (p, s) in parallel.iter().zip(&sequential) {
+        assert_eq!(p.workload, s.workload, "matrix order must not depend on completion order");
+        assert_eq!(p.scheme, s.scheme);
+        assert_eq!(
+            p.report, s.report,
+            "parallel report diverged for {} / {}",
+            p.workload, p.scheme
+        );
+    }
+    // Workload-major, scheme-minor order — exactly the old nested loop.
+    assert_eq!(parallel[0].workload, "toy");
+    assert_eq!(parallel[2].workload, "toy");
+    assert_eq!(parallel[3].workload, "gcc");
+    assert_eq!(parallel[0].scheme, SchemeKind::Scrubbing);
+    assert_eq!(parallel[4].scheme, SchemeKind::MMetric);
+}
