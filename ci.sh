@@ -9,8 +9,11 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release
+# --workspace is required: the repo root is both a workspace and the
+# `readduo` facade package, so a bare `cargo build` covers only the facade
+# and leaves the bench binaries (fig9, stream_smoke, …) stale or missing.
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test --workspace -q
@@ -31,6 +34,21 @@ elapsed=$(( $(date +%s) - start ))
 echo "    fig9 smoke took ${elapsed}s"
 if [ "$elapsed" -gt 120 ]; then
     echo "    FAIL: fig9 smoke exceeded the 120 s budget" >&2
+    exit 1
+fi
+
+# Paper-scale streaming smoke: mcf through every headline scheme at 10M
+# instructions/core in streaming mode. The binary itself asserts peak RSS
+# stays under READDUO_RSS_CEILING_MB (default 512 MB) — the bounded-memory
+# claim of the streaming replay path — and the wall-clock budget catches
+# hot-path regressions at the volume the paper actually uses.
+echo "==> streaming fig9 smoke (READDUO_INSTR=10000000, budget 300 s)"
+start=$(date +%s)
+READDUO_INSTR=10000000 ./target/release/stream_smoke
+elapsed=$(( $(date +%s) - start ))
+echo "    streaming smoke took ${elapsed}s"
+if [ "$elapsed" -gt 300 ]; then
+    echo "    FAIL: streaming smoke exceeded the 300 s budget" >&2
     exit 1
 fi
 

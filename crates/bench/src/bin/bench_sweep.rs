@@ -1,14 +1,17 @@
 //! Sweep-executor benchmark: times the Figure-9 headline matrix end to
-//! end, verifies the parallel sweep reproduces the sequential reports
-//! bit-for-bit, runs the `sweep` microbench group, and writes the whole
-//! record to `BENCH_sweep.json` (run from the repo root).
+//! end (materialised and streamed), verifies the parallel and streaming
+//! sweeps reproduce the sequential reports bit-for-bit, times the
+//! paper-scale `fig9@10M` streamed matrix with peak-RSS tracking, runs the
+//! `sweep` microbench group, and writes the whole record to
+//! `BENCH_sweep.json` (run from the repo root).
 //!
 //! `READDUO_INSTR` sets the volume (default one million instructions per
 //! core — the acceptance configuration); `READDUO_THREADS` sets the
-//! parallel pool width.
+//! parallel pool width; `READDUO_BENCH_SKIP_10M=1` skips the paper-scale
+//! row.
 
 use readduo_bench::micro::Micro;
-use readduo_bench::Harness;
+use readduo_bench::{peak_rss_bytes, Harness};
 use readduo_core::SchemeKind;
 use readduo_memsim::MemoryConfig;
 use readduo_pool::Pool;
@@ -19,6 +22,12 @@ use std::time::Instant;
 /// million instructions/core on the reference container — the recorded
 /// baseline this PR's speedup is measured against.
 const PR1_SEQUENTIAL_MS: f64 = 1421.0;
+
+/// Sequential-warm Figure-9 wall clock of the PR 2 engine at one million
+/// instructions/core on this container, measured before this PR's hot-path
+/// work (hash-map line table, bucketed scheduler, memoised drift curves) —
+/// the ≥2x acceptance bar is against this number.
+const PR2_SEQUENTIAL_WARM_MS: f64 = 704.0;
 
 fn main() {
     let h = Harness::from_env();
@@ -47,17 +56,49 @@ fn main() {
     let seq2 = h.run_matrix_on(&Pool::new(1), &schemes, &workloads);
     let sequential_warm_ms = t.elapsed().as_secs_f64() * 1e3;
 
+    let t = Instant::now();
+    let streamed = h.run_matrix_streamed_on(&Pool::new(1), &schemes, &workloads);
+    let streaming_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
     let identical = seq.len() == par.len()
+        && seq.len() == streamed.len()
         && seq
             .iter()
             .zip(&par)
             .chain(seq.iter().zip(&seq2))
+            .chain(seq.iter().zip(&streamed))
             .all(|(a, b)| a.report == b.report && a.scheme == b.scheme);
-    assert!(identical, "parallel sweep diverged from sequential sweep");
+    assert!(
+        identical,
+        "parallel/streaming sweep diverged from sequential sweep"
+    );
     eprintln!(
         "sequential(cold) {sequential_cold_ms:.0} ms, sequential(warm) {sequential_warm_ms:.0} ms, \
-         parallel(warm, {threads} thread(s)) {parallel_warm_ms:.0} ms — reports identical"
+         parallel(warm, {threads} thread(s)) {parallel_warm_ms:.0} ms, \
+         streaming(warm) {streaming_warm_ms:.0} ms — reports identical"
     );
+
+    // Paper-scale row: the full headline matrix at 10M instructions/core,
+    // streamed, with the process peak RSS recorded so the bounded-memory
+    // claim is measured rather than asserted.
+    let skip_10m = std::env::var("READDUO_BENCH_SKIP_10M").is_ok_and(|v| v == "1");
+    let (fig9_10m_ms, fig9_10m_rss_mb) = if skip_10m {
+        eprintln!("skipping fig9@10M (READDUO_BENCH_SKIP_10M=1)");
+        (-1.0, -1.0)
+    } else {
+        let h10 = Harness {
+            instructions_per_core: 10_000_000,
+            ..h
+        };
+        eprintln!("timing fig9@10M streamed ({} runs) …", schemes.len() * workloads.len());
+        let t = Instant::now();
+        let results = h10.run_matrix_streamed_on(&Pool::new(1), &schemes, &workloads);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(results.len(), schemes.len() * workloads.len());
+        let rss_mb = peak_rss_bytes().map_or(-1.0, |b| b as f64 / (1024.0 * 1024.0));
+        eprintln!("fig9@10M streamed: {ms:.0} ms, peak RSS {rss_mb:.0} MB");
+        (ms, rss_mb)
+    };
 
     // The `sweep` microbench group on the tiny matrix (fast, stable).
     let mut m = Micro::new();
@@ -96,16 +137,21 @@ fn main() {
         .join("\n");
 
     let json = format!(
-        "{{\n  \"schema\": \"readduo-bench-sweep-v1\",\n  \"generated_by\": \"cargo run --release -p readduo-bench --bin bench_sweep\",\n  \"instructions_per_core\": {instr},\n  \"parallel_threads\": {threads},\n  \"fig9_matrix\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"baseline_pr1_sequential_ms\": {base:.0},\n    \"sequential_cold_ms\": {cold:.0},\n    \"sequential_warm_ms\": {warm:.0},\n    \"parallel_warm_ms\": {par:.0},\n    \"speedup_vs_pr1_baseline\": {speedup:.2}\n  }},\n  \"parallel_equals_sequential\": {identical},\n  \"micro\": {micro}\n}}\n",
+        "{{\n  \"schema\": \"readduo-bench-sweep-v2\",\n  \"generated_by\": \"cargo run --release -p readduo-bench --bin bench_sweep\",\n  \"instructions_per_core\": {instr},\n  \"parallel_threads\": {threads},\n  \"fig9_matrix\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"baseline_pr1_sequential_ms\": {base:.0},\n    \"baseline_pr2_sequential_warm_ms\": {base2:.0},\n    \"sequential_cold_ms\": {cold:.0},\n    \"sequential_warm_ms\": {warm:.0},\n    \"parallel_warm_ms\": {par:.0},\n    \"streaming_warm_ms\": {stream:.0},\n    \"speedup_vs_pr1_baseline\": {speedup:.2},\n    \"speedup_vs_pr2_warm_baseline\": {speedup2:.2}\n  }},\n  \"fig9_matrix_10m\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"instructions_per_core\": 10000000,\n    \"streaming_ms\": {ms10:.0},\n    \"peak_rss_mb\": {rss10:.0}\n  }},\n  \"parallel_equals_sequential\": {identical},\n  \"streaming_equals_sequential\": {identical},\n  \"micro\": {micro}\n}}\n",
         instr = h.instructions_per_core,
         threads = threads,
         nschemes = schemes.len(),
         nworkloads = workloads.len(),
         base = PR1_SEQUENTIAL_MS,
+        base2 = PR2_SEQUENTIAL_WARM_MS,
         cold = sequential_cold_ms,
         warm = sequential_warm_ms,
         par = parallel_warm_ms,
+        stream = streaming_warm_ms,
         speedup = PR1_SEQUENTIAL_MS / sequential_cold_ms.min(parallel_warm_ms),
+        speedup2 = PR2_SEQUENTIAL_WARM_MS / sequential_warm_ms.min(streaming_warm_ms),
+        ms10 = fig9_10m_ms,
+        rss10 = fig9_10m_rss_mb,
         identical = identical,
         micro = micro_indented,
     );

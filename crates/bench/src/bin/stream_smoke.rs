@@ -1,0 +1,58 @@
+//! Paper-scale streaming smoke: runs the largest-footprint workload (mcf)
+//! through every headline scheme in streaming mode and asserts the process
+//! peak RSS stays under a fixed ceiling — the bounded-memory claim of the
+//! streaming replay path, checked rather than assumed.
+//!
+//! `READDUO_INSTR` sets the volume (ci.sh runs this at 10M instructions
+//! per core); `READDUO_RSS_CEILING_MB` overrides the ceiling (default
+//! 512 MB).
+
+use readduo_bench::{peak_rss_bytes, Harness};
+use readduo_core::SchemeKind;
+use readduo_trace::Workload;
+use std::time::Instant;
+
+fn main() {
+    let h = Harness::from_env();
+    let ceiling_mb: u64 = std::env::var("READDUO_RSS_CEILING_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512);
+    let mcf = Workload::by_name("mcf").expect("mcf is in the SPEC2006 set");
+    let schemes = SchemeKind::headline();
+    eprintln!(
+        "streaming mcf x {} schemes at {} instr/core (RSS ceiling {} MB) …",
+        schemes.len(),
+        h.instructions_per_core,
+        ceiling_mb
+    );
+    let t = Instant::now();
+    for &scheme in &schemes {
+        let t1 = Instant::now();
+        let r = h.run_streamed(&mcf, scheme);
+        eprintln!(
+            "  {:<12} {:>7.0} ms  exec {:>12} ns  {} reads / {} writes",
+            scheme.label(),
+            t1.elapsed().as_secs_f64() * 1e3,
+            r.report.exec_ns,
+            r.report.reads,
+            r.report.writes
+        );
+        assert!(r.report.reads + r.report.writes > 0, "empty run for {scheme}");
+    }
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let rss = peak_rss_bytes().expect("VmHWM readable on Linux CI");
+    let rss_mb = rss / (1024 * 1024);
+    println!(
+        "stream_smoke: {} schemes x mcf @ {} instr/core in {:.0} ms, peak RSS {} MB (ceiling {} MB)",
+        schemes.len(),
+        h.instructions_per_core,
+        wall_ms,
+        rss_mb,
+        ceiling_mb
+    );
+    assert!(
+        rss_mb < ceiling_mb,
+        "peak RSS {rss_mb} MB breached the {ceiling_mb} MB ceiling — streaming is no longer bounded"
+    );
+}

@@ -30,7 +30,7 @@ pub mod micro;
 use readduo_core::{EdapInputs, SchemeKind};
 use readduo_memsim::{MemoryConfig, SimReport, Simulator};
 use readduo_pool::Pool;
-use readduo_trace::{Trace, TraceGenerator, Workload};
+use readduo_trace::{Trace, TraceGenerator, TraceStream, Workload};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -87,6 +87,14 @@ impl Harness {
         ))
     }
 
+    /// Opens a bounded-memory stream over the same trace [`trace_for`]
+    /// would materialise.
+    ///
+    /// [`trace_for`]: Harness::trace_for
+    pub fn stream_for(&self, workload: &Workload) -> TraceStream {
+        TraceGenerator::new(self.seed).stream(workload, self.instructions_per_core, self.cores)
+    }
+
     /// Runs one scheme against an already-generated trace.
     pub fn run_on_trace(
         &self,
@@ -95,21 +103,51 @@ impl Harness {
         scheme: SchemeKind,
     ) -> RunResult {
         let sim = Simulator::new(self.memory);
-        // Lines below the warm boundary are in write steady state; the
-        // schemes treat them as recently written (pre-window).
-        let warm_boundary = (workload.footprint_lines.max(16) as f64
-            * workload.locality.written_fraction) as u64;
-        let mut device = scheme.build_for(
-            self.seed ^ workload.name.len() as u64,
-            warm_boundary,
-            workload.footprint_lines,
-        );
+        let mut device = self.device_for(workload, scheme);
         let report = sim.run(trace, device.as_mut());
         RunResult {
             workload: workload.name,
             scheme,
             report,
         }
+    }
+
+    /// Runs one scheme in streaming mode: the trace is generated chunk by
+    /// chunk while the engine consumes it, so peak memory stays bounded by
+    /// `cores × READDUO_CHUNK` records regardless of instruction count.
+    /// Bit-for-bit identical to [`run_on_trace`] over [`trace_for`]'s
+    /// output (pinned by `tests/stream_equivalence.rs`).
+    ///
+    /// [`run_on_trace`]: Harness::run_on_trace
+    /// [`trace_for`]: Harness::trace_for
+    pub fn run_streamed(&self, workload: &Workload, scheme: SchemeKind) -> RunResult {
+        let sim = Simulator::new(self.memory);
+        let mut device = self.device_for(workload, scheme);
+        let mut stream = self.stream_for(workload);
+        let report = sim.run_source(&mut stream, device.as_mut());
+        RunResult {
+            workload: workload.name,
+            scheme,
+            report,
+        }
+    }
+
+    /// Builds a workload's device for `scheme`, seeded identically on the
+    /// materialised and streaming paths.
+    fn device_for(
+        &self,
+        workload: &Workload,
+        scheme: SchemeKind,
+    ) -> Box<dyn readduo_memsim::DeviceModel> {
+        // Lines below the warm boundary are in write steady state; the
+        // schemes treat them as recently written (pre-window).
+        let warm_boundary = (workload.footprint_lines.max(16) as f64
+            * workload.locality.written_fraction) as u64;
+        scheme.build_for(
+            self.seed ^ workload.name.len() as u64,
+            warm_boundary,
+            workload.footprint_lines,
+        )
     }
 
     /// Runs one (workload, scheme) pair.
@@ -146,6 +184,12 @@ impl Harness {
         schemes: &[SchemeKind],
         workloads: &[Workload],
     ) -> Vec<RunResult> {
+        let seq = Pool::new(1);
+        let pool = if matrix_uses_pool(pool, schemes.len() * workloads.len()) {
+            pool
+        } else {
+            &seq
+        };
         let traces: Vec<Arc<Trace>> =
             pool.map(workloads.to_vec(), |_, w| self.trace_for(&w));
         let tasks: Vec<(Workload, Arc<Trace>, SchemeKind)> = workloads
@@ -158,6 +202,50 @@ impl Harness {
             })
             .collect();
         pool.map(tasks, |_, (w, trace, s)| self.run_on_trace(&w, &trace, s))
+    }
+
+    /// Runs the full matrix in streaming mode on the ambient pool.
+    ///
+    /// See [`run_matrix_streamed_on`](Harness::run_matrix_streamed_on).
+    pub fn run_matrix_streamed(
+        &self,
+        schemes: &[SchemeKind],
+        workloads: &[Workload],
+    ) -> Vec<RunResult> {
+        self.run_matrix_streamed_on(&Pool::from_env(), schemes, workloads)
+    }
+
+    /// Runs the matrix in streaming mode on an explicit pool.
+    ///
+    /// Unlike [`run_matrix_on`], no workload trace is ever materialised:
+    /// the tasks share one *generator configuration* per workload (seed +
+    /// parameters, a few dozen bytes) instead of one `Arc<Trace>`, and each
+    /// (workload, scheme) task re-generates its stream chunk by chunk while
+    /// simulating. That trades repeated generation CPU (cheap — the
+    /// generator is a few RNG draws per op) for peak memory independent of
+    /// `instructions_per_core`, which is what makes paper-scale volumes
+    /// (50–100M instructions/core) runnable at all. Results are returned in
+    /// workload-major order, bit-for-bit identical to the materialised
+    /// matrix.
+    ///
+    /// [`run_matrix_on`]: Harness::run_matrix_on
+    pub fn run_matrix_streamed_on(
+        &self,
+        pool: &Pool,
+        schemes: &[SchemeKind],
+        workloads: &[Workload],
+    ) -> Vec<RunResult> {
+        let seq = Pool::new(1);
+        let pool = if matrix_uses_pool(pool, schemes.len() * workloads.len()) {
+            pool
+        } else {
+            &seq
+        };
+        let tasks: Vec<(Workload, SchemeKind)> = workloads
+            .iter()
+            .flat_map(|w| schemes.iter().map(move |&s| (w.clone(), s)))
+            .collect();
+        pool.map(tasks, |_, (w, s)| self.run_streamed(&w, s))
     }
 
     /// Parallel sensitivity sweep à la Figs. 12–13: one baseline scheme
@@ -186,6 +274,30 @@ impl Default for Harness {
     fn default() -> Self {
         Self::from_env()
     }
+}
+
+/// Whether a matrix of `tasks` (workload, scheme) pairs should fan out to
+/// `pool` at all.
+///
+/// Spinning up workers, cloning task inputs and funnelling results through
+/// a channel costs more than it saves when there are fewer tasks than
+/// workers (BENCH_sweep.json's `sweep/matrix_1w3s_pool` micro measured the
+/// pooled 1×3 matrix *slower* than sequential), so small matrices take the
+/// in-place sequential path.
+pub fn matrix_uses_pool(pool: &Pool, tasks: usize) -> bool {
+    !pool.is_sequential() && tasks >= pool.workers()
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where unavailable. The high-water mark
+/// is what bounds a sweep: it captures the largest simultaneous footprint
+/// any run reached, which is the quantity the streaming mode promises to
+/// keep independent of instruction count.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// Finds the result for a (workload, scheme) pair.
@@ -279,16 +391,25 @@ pub fn fmt_prob(p: readduo_math::LogProb) -> String {
 }
 
 /// Renders an aligned text table. An empty header yields an empty string.
+/// Rows may be wider or narrower than the header: extra columns are sized
+/// from the rows alone, missing cells simply end the row early.
 pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
     if header.is_empty() {
         return String::new();
     }
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let cols = rows
+        .iter()
+        .map(Vec::len)
+        .chain(std::iter::once(header.len()))
+        .max()
+        .expect("chain is non-empty");
+    let mut widths: Vec<usize> = vec![0; cols];
+    for (i, h) in header.iter().enumerate() {
+        widths[i] = h.len();
+    }
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
+            widths[i] = widths[i].max(cell.len());
         }
     }
     let fmt_row = |cells: &[String]| -> String {
@@ -355,6 +476,63 @@ mod tests {
         // Regression: `widths.len() - 1` used to underflow here.
         assert_eq!(render_table(&[], &[]), "");
         assert_eq!(render_table(&[], &[vec!["orphan".into()]]), "");
+    }
+
+    #[test]
+    fn rows_wider_than_header_stay_aligned() {
+        // Regression: widths were sized from the header alone, so columns
+        // beyond it collapsed to unaligned raw cells.
+        let t = render_table(
+            &["a".into()],
+            &[
+                vec!["1".into(), "extra".into(), "tail".into()],
+                vec!["22".into(), "x".into()],
+                vec![], // missing cells end the row early
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[2], " 1  extra  tail");
+        assert_eq!(lines[3], "22      x");
+        assert_eq!(lines[4], "");
+        // The separator spans every column, not just the header's.
+        assert_eq!(lines[1].len(), 2 + 5 + 4 + 2 * 2);
+    }
+
+    #[test]
+    fn small_matrices_skip_the_pool() {
+        use readduo_pool::Pool;
+        // Fewer tasks than workers: pooling costs more than it saves.
+        assert!(!matrix_uses_pool(&Pool::new(4), 3));
+        assert!(matrix_uses_pool(&Pool::new(4), 4));
+        assert!(matrix_uses_pool(&Pool::new(4), 100));
+        // A sequential pool never fans out, whatever the size.
+        assert!(!matrix_uses_pool(&Pool::new(1), 100));
+        assert!(!matrix_uses_pool(&Pool::new(4), 0));
+    }
+
+    #[test]
+    fn streamed_matrix_matches_materialised_matrix() {
+        let h = tiny_harness();
+        let schemes = [SchemeKind::Ideal, SchemeKind::Scrubbing, SchemeKind::MMetric];
+        let workloads = [Workload::toy()];
+        let on_trace = h.run_matrix(&schemes, &workloads);
+        let streamed = h.run_matrix_streamed(&schemes, &workloads);
+        assert_eq!(on_trace.len(), streamed.len());
+        for (a, b) in on_trace.iter().zip(&streamed) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.report, b.report, "{}/{}", a.workload, a.scheme);
+        }
+    }
+
+    #[test]
+    fn peak_rss_is_readable_and_plausible() {
+        let rss = peak_rss_bytes().expect("procfs available on the test host");
+        // A running test binary is bigger than 1 MB and (here) smaller
+        // than 1 TB.
+        assert!(rss > 1 << 20, "VmHWM {rss} implausibly small");
+        assert!(rss < 1 << 40, "VmHWM {rss} implausibly large");
     }
 
     #[test]

@@ -6,7 +6,8 @@ use readduo_rng::SeedableRng;
 use readduo_math::BinomialSampler;
 use readduo_memsim::{EnergyModel, WriteOutcome};
 use readduo_pcm::{MetricConfig, SenseTiming};
-use readduo_reliability::{CachedErrorCurve, CellErrorModel};
+use readduo_reliability::CachedErrorCurve;
+use std::sync::Arc;
 
 /// Bits per line as the schemes count errors (512 data bits; the BCH code
 /// corrects bit errors).
@@ -47,33 +48,27 @@ pub const DETECT_MAX: u32 = 17;
 /// array.
 #[derive(Debug, Clone)]
 pub struct DriftSampler {
-    curve_r: CachedErrorCurve,
-    curve_m: CachedErrorCurve,
+    curve_r: Arc<CachedErrorCurve>,
+    curve_m: Arc<CachedErrorCurve>,
     binomial: BinomialSampler,
+    diff_binomial: BinomialSampler,
     rng: StdRng,
 }
 
 impl DriftSampler {
     /// Builds the sampler from the paper's Table I/II models.
     ///
-    /// The analytic curves are tabulated once per process and shared: the
-    /// benchmark harness constructs dozens of schemes, and re-integrating
-    /// the drift model each time would dominate start-up.
+    /// The analytic curves come from the process-wide per-params memo
+    /// ([`CachedErrorCurve::shared_standard`]): the benchmark harness
+    /// constructs one device per (scheme, workload) pair, and
+    /// re-integrating the drift model for each would dominate start-up —
+    /// every sampler over the same metric parameters shares one table.
     pub fn new(seed: u64) -> Self {
-        static CURVES: std::sync::OnceLock<(CachedErrorCurve, CachedErrorCurve)> =
-            std::sync::OnceLock::new();
-        let (curve_r, curve_m) = CURVES.get_or_init(|| {
-            let r = CellErrorModel::new(MetricConfig::r_metric());
-            let m = CellErrorModel::new(MetricConfig::m_metric());
-            (
-                CachedErrorCurve::standard(&r),
-                CachedErrorCurve::standard(&m),
-            )
-        });
         Self {
-            curve_r: curve_r.clone(),
-            curve_m: curve_m.clone(),
+            curve_r: CachedErrorCurve::shared_standard(&MetricConfig::r_metric()),
+            curve_m: CachedErrorCurve::shared_standard(&MetricConfig::m_metric()),
             binomial: BinomialSampler::new(LINE_BITS),
+            diff_binomial: BinomialSampler::new(DATA_CELLS as u64),
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -103,7 +98,8 @@ impl DriftSampler {
     /// Draws the number of cells a differential write programs: the
     /// changed data cells plus the always-rewritten ECC cells.
     pub fn differential_write_cells(&mut self) -> u32 {
-        let changed = BinomialSampler::new(DATA_CELLS as u64)
+        let changed = self
+            .diff_binomial
             .sample(&mut self.rng, DIFF_WRITE_CHANGED_FRACTION) as u32;
         changed + ECC_CELLS
     }

@@ -1,28 +1,65 @@
 //! Sparse per-line state with deterministic lazy cold defaults.
 //!
-//! The simulated memory holds ~2²⁷ lines; a trace touches a few hundred
-//! thousand. [`LineTable`] materialises state only for touched lines and
-//! synthesises a deterministic *cold* default for first touches: the line
-//! was last fully written `cold_age_s` seconds before the simulation epoch
-//! (plus a per-line jitter so ages do not align), and its LWT flags are
-//! clear (untracked).
+//! The simulated memory holds ~2²⁷ lines; a run touches tens of thousands.
+//! [`LineTable`] materialises state only for touched lines and synthesises
+//! a deterministic *cold* default for first touches: the line was last
+//! fully written `cold_age_s` seconds before the simulation epoch (plus a
+//! per-line jitter so ages do not align), and its LWT flags are clear
+//! (untracked).
 //!
-//! Storage is two-tier: lines inside the declared *dense region* (the
-//! workload footprint, where virtually every access lands) live in a flat
-//! `Vec` indexed by line id, so the per-access hot path is a bounds check
-//! and an array load instead of a hash probe; anything beyond — the sparse
-//! scrub-visited remainder of the address space — falls back to a
-//! `HashMap`. The default materialised for a first touch is a pure
-//! function of the line id and the touch time, so which tier a line lands
-//! in never affects simulation results.
+//! Storage is a single hash map keyed by raw line id with a fast
+//! multiply-xor hasher ([`LineHasher`] — SipHash would dominate the probe
+//! on this hot path, and HashDoS is not a threat model for a simulator
+//! hashing its own deterministic trace). Earlier revisions carried a
+//! dense direct-indexed tier sized to the workload footprint; profiling
+//! showed it lost on both ends — a multi-megabyte zeroed allocation per
+//! device at build time, and DRAM/TLB misses over a footprint-sized array
+//! at access time — while the touched set stays small enough that the hash
+//! map is cache-resident. The default materialised for a first touch is a
+//! pure function of the line id and the touch time, so storage layout can
+//! never affect simulation results, and peak memory tracks the number of
+//! *touched* lines rather than the declared footprint.
 
 use crate::flags::LwtFlags;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
-/// Upper bound on the dense tier, in lines (~128 MiB of `LineState` at
-/// 32 B each). Paper footprints top out around 1.4 M lines; a caller
-/// declaring something absurd falls back to the hash tier beyond the cap.
-const DENSE_CAP: u64 = 1 << 22;
+/// Cap on the capacity pre-reserved by [`LineTable::set_dense_region`]:
+/// enough for the largest touched set a paper-scale run produces without
+/// letting a huge declared footprint balloon the empty table.
+const RESERVE_CAP: u64 = 1 << 16;
+
+/// A multiply-xor hasher for line ids (the `finalize` step of the same
+/// SplitMix-style mix [`LineTable`] uses for per-line jitter). Not
+/// DoS-resistant — keys are simulator-generated line addresses, not
+/// attacker input.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by u64 keys): fold 8-byte chunks.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut x = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        self.0 = x;
+    }
+}
+
+type LineMap = HashMap<u64, LineState, BuildHasherDefault<LineHasher>>;
 
 /// Mutable per-line tracking state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,12 +77,7 @@ pub struct LineState {
 /// Sparse line-state table.
 #[derive(Debug, Clone)]
 pub struct LineTable {
-    /// Dense tier: direct-indexed state for lines below `dense.len()`.
-    dense: Vec<Option<LineState>>,
-    /// Materialised entries in the dense tier (kept so `touched` is O(1)).
-    dense_touched: usize,
-    /// Sparse tier for everything past the dense region.
-    map: HashMap<u64, LineState>,
+    map: LineMap,
     k: u8,
     scrub_interval_s: f64,
     cold_age_s: f64,
@@ -68,9 +100,7 @@ impl LineTable {
         assert!(scrub_interval_s > 0.0, "scrub interval must be positive");
         assert!(cold_age_s >= 0.0, "cold age must be non-negative");
         Self {
-            dense: Vec::new(),
-            dense_touched: 0,
-            map: HashMap::new(),
+            map: LineMap::default(),
             k,
             scrub_interval_s,
             cold_age_s,
@@ -88,22 +118,12 @@ impl LineTable {
         self.warm_boundary = boundary;
     }
 
-    /// Declares `[0, lines)` the dense region — typically the workload
-    /// footprint — storing those lines' state in a direct-indexed `Vec`
-    /// instead of the hash map. Capped at [`DENSE_CAP`] lines; lines past
-    /// the cap still work through the hash tier. Must be called before any
-    /// line state is materialised.
-    ///
-    /// # Panics
-    ///
-    /// Panics if state has already been materialised (re-tiering would
-    /// strand entries).
+    /// Sizing hint: the workload touches on the order of `lines` distinct
+    /// lines. Pre-reserves hash capacity (capped at [`RESERVE_CAP`]
+    /// entries) so steady-state insertion never rehashes mid-run. Storage
+    /// is touched-proportional either way; the hint only smooths growth.
     pub fn set_dense_region(&mut self, lines: u64) {
-        assert!(
-            self.touched() == 0,
-            "dense region must be declared before first touch"
-        );
-        self.dense = vec![None; lines.min(DENSE_CAP) as usize];
+        self.map.reserve(lines.min(RESERVE_CAP) as usize);
     }
 
     /// Makes cold lines default to "fully written at their last scrub" —
@@ -114,9 +134,9 @@ impl LineTable {
         self
     }
 
-    /// Number of lines with materialised state (both tiers).
+    /// Number of lines with materialised state.
     pub fn touched(&self) -> usize {
-        self.dense_touched + self.map.len()
+        self.map.len()
     }
 
     /// Scrub interval `S`.
@@ -139,11 +159,18 @@ impl LineTable {
     }
 
     /// The deterministic first-touch default for `line` at `now_s` — a
-    /// pure function of the line id and touch time, independent of which
-    /// storage tier the line lands in.
-    fn default_state(&self, line: u64, now_s: f64) -> LineState {
-        let k = self.k;
-        let s = self.scrub_interval_s;
+    /// pure function of the line id and touch time, independent of the
+    /// storage layout.
+    fn default_state(
+        k: u8,
+        scrub_interval_s: f64,
+        cold_age_s: f64,
+        cold_at_scrub: bool,
+        warm_boundary: u64,
+        line: u64,
+        now_s: f64,
+    ) -> LineState {
+        let s = scrub_interval_s;
         let sub_len = s / k as f64;
         let j = Self::jitter(line);
         // Anchor the line's scrub phase before time 0 and roll it
@@ -151,7 +178,7 @@ impl LineTable {
         let phase = j * s;
         let cycles = ((now_s - phase) / s).floor().max(0.0);
         let last_scrub_s = phase - s + cycles * s;
-        if line < self.warm_boundary {
+        if line < warm_boundary {
             // Steady-state warm line: last written `j2·S/2` ago (data
             // that is actively written skews young); flags replay that
             // write (and the scrub, if one intervened).
@@ -175,10 +202,10 @@ impl LineTable {
             };
         }
         LineState {
-            last_full_write_s: if self.cold_at_scrub {
+            last_full_write_s: if cold_at_scrub {
                 last_scrub_s
             } else {
-                -(self.cold_age_s * (1.0 + j))
+                -(cold_age_s * (1.0 + j))
             },
             last_scrub_s,
             flags: LwtFlags::new(k),
@@ -189,23 +216,19 @@ impl LineTable {
     ///
     /// Cold default: last full write `cold_age_s·(1 + jitter)` before time
     /// 0; last scrub within the past interval (the scrub engine visits
-    /// every line once per `S`); flags clear. Lines inside the dense
-    /// region resolve with a direct array index; the rest hash.
+    /// every line once per `S`); flags clear. One hash probe on the warm
+    /// path.
     pub fn get_mut(&mut self, line: u64, now_s: f64) -> &mut LineState {
-        if (line as usize) < self.dense.len() {
-            let idx = line as usize;
-            if self.dense[idx].is_none() {
-                let st = self.default_state(line, now_s);
-                self.dense[idx] = Some(st);
-                self.dense_touched += 1;
-            }
-            return self.dense[idx].as_mut().expect("just materialised");
-        }
-        if !self.map.contains_key(&line) {
-            let st = self.default_state(line, now_s);
-            self.map.insert(line, st);
-        }
-        self.map.get_mut(&line).expect("just materialised")
+        let (k, s, cold, at_scrub, warm) = (
+            self.k,
+            self.scrub_interval_s,
+            self.cold_age_s,
+            self.cold_at_scrub,
+            self.warm_boundary,
+        );
+        self.map
+            .entry(line)
+            .or_insert_with(|| Self::default_state(k, s, cold, at_scrub, warm, line, now_s))
     }
 
     /// The LWT sub-interval a time belongs to, relative to the line's last
@@ -283,41 +306,62 @@ mod tests {
     }
 
     #[test]
-    fn dense_tier_matches_hash_tier() {
-        // Identical defaults and mutations whichever tier a line sits in.
-        let mut hash_only = LineTable::new(4, 640.0, 1e6);
-        hash_only.set_warm_region(50);
-        let mut tiered = LineTable::new(4, 640.0, 1e6);
-        tiered.set_warm_region(50);
-        tiered.set_dense_region(100);
-        for line in [0u64, 7, 49, 50, 99, 100, 5000] {
+    fn sizing_hint_never_changes_state() {
+        // Identical defaults and mutations with and without the capacity
+        // hint, including lines far past the hinted region.
+        let mut plain = LineTable::new(4, 640.0, 1e6);
+        plain.set_warm_region(50);
+        let mut hinted = LineTable::new(4, 640.0, 1e6);
+        hinted.set_warm_region(50);
+        hinted.set_dense_region(100);
+        for line in [0u64, 7, 49, 50, 99, 100, 5000, u64::MAX - 3] {
             assert_eq!(
-                *hash_only.get_mut(line, 123.0),
-                *tiered.get_mut(line, 123.0),
+                *plain.get_mut(line, 123.0),
+                *hinted.get_mut(line, 123.0),
                 "first touch differs for line {line}"
             );
-            hash_only.get_mut(line, 200.0).last_full_write_s = 150.0;
-            tiered.get_mut(line, 200.0).last_full_write_s = 150.0;
-            assert_eq!(*hash_only.get_mut(line, 250.0), *tiered.get_mut(line, 250.0));
+            plain.get_mut(line, 200.0).last_full_write_s = 150.0;
+            hinted.get_mut(line, 200.0).last_full_write_s = 150.0;
+            assert_eq!(*plain.get_mut(line, 250.0), *hinted.get_mut(line, 250.0));
         }
-        assert_eq!(hash_only.touched(), tiered.touched());
+        assert_eq!(plain.touched(), hinted.touched());
     }
 
     #[test]
-    fn touched_spans_both_tiers() {
-        let mut t = LineTable::new(2, 8.0, 1e5);
-        t.set_dense_region(10);
-        t.get_mut(3, 0.0); // dense
-        t.get_mut(3, 1.0); // dense hit, not a new touch
-        t.get_mut(999, 0.0); // hash
+    fn memory_is_touched_proportional() {
+        // Declaring a paper-scale footprint must not materialise per-line
+        // storage: capacity stays bounded by the reserve cap, and entries
+        // appear only as lines are touched.
+        let mut t = LineTable::new(4, 640.0, 1e6);
+        t.set_dense_region(100_000_000);
+        assert_eq!(t.touched(), 0);
+        assert!(
+            t.map.capacity() <= 2 * RESERVE_CAP as usize,
+            "hint over-reserved: {}",
+            t.map.capacity()
+        );
+        t.get_mut(0, 1.0);
+        t.get_mut(99_999_999, 1.0);
+        t.get_mut(0, 2.0);
         assert_eq!(t.touched(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "before first touch")]
-    fn dense_region_after_touch_rejected() {
-        let mut t = LineTable::new(2, 8.0, 1e5);
-        t.get_mut(1, 0.0);
-        t.set_dense_region(10);
+    fn line_hasher_mixes_u64_keys() {
+        // Sequential line ids (the common address pattern) must spread
+        // across the hash range instead of clustering.
+        let mut seen = std::collections::HashSet::new();
+        for line in 0u64..1000 {
+            let mut h = LineHasher::default();
+            h.write_u64(line);
+            seen.insert(h.finish() >> 48);
+        }
+        assert!(seen.len() > 900, "top bits collide: {}", seen.len());
+        // The byte-slice fallback agrees with the u64 path for 8-byte keys.
+        let mut a = LineHasher::default();
+        a.write_u64(0x0123_4567_89AB_CDEF);
+        let mut b = LineHasher::default();
+        b.write(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
     }
 }

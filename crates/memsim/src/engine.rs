@@ -1,12 +1,20 @@
 //! The discrete-event simulation engine.
+//!
+//! The engine consumes ops through the [`OpSource`] trait, so a bounded-
+//! memory [`TraceStream`] and a materialised [`Trace`] replay identically
+//! ([`Simulator::run_source`] vs [`Simulator::run`]); events flow through
+//! the two-level bucketed scheduler in [`crate::sched`] rather than one
+//! global `BinaryHeap`.
+//!
+//! [`TraceStream`]: readduo_trace::TraceStream
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::MemoryConfig;
 use crate::device::{DeviceModel, WriteOutcome};
+use crate::sched::EventQueue;
 use crate::stats::SimReport;
-use readduo_trace::{OpKind, Trace};
+use readduo_trace::{OpKind, OpSource, Trace, TraceCursor};
 
 /// Origin of a queued write job (for energy/lifetime attribution).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,24 +60,6 @@ enum EventKind {
     ScrubTick(usize),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
-    at: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// The trace-driven simulator.
 ///
 /// One `Simulator` instance can run many traces; per-run state lives on the
@@ -81,15 +71,15 @@ pub struct Simulator {
     config: MemoryConfig,
 }
 
-struct Run<'a, D: DeviceModel + ?Sized> {
+struct Run<'a, D: DeviceModel + ?Sized, S: OpSource> {
     cfg: MemoryConfig,
     device: &'a mut D,
-    trace: &'a Trace,
+    source: &'a mut S,
     banks: Vec<Bank>,
-    /// Next stream index per core.
-    cursor: Vec<usize>,
-    heap: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    /// Cores whose streams still have ops pending (issued-and-advanced is
+    /// what retires a core, matching the old cursor scan).
+    live_cores: usize,
+    events: EventQueue<EventKind>,
     bus_busy_until: u64,
     report: SimReport,
     scrub_period_ns: Option<u64>,
@@ -111,26 +101,44 @@ impl Simulator {
         &self.config
     }
 
-    /// Runs `trace` against `device` and returns the report.
+    /// Runs a materialised `trace` against `device` and returns the report.
+    ///
+    /// Equivalent to [`run_source`] over a [`TraceCursor`] — the two paths
+    /// share every line of engine code.
+    ///
+    /// [`run_source`]: Simulator::run_source
     ///
     /// # Panics
     ///
     /// Panics if the trace has more cores than the configuration.
     pub fn run<D: DeviceModel + ?Sized>(&self, trace: &Trace, device: &mut D) -> SimReport {
+        self.run_source(&mut TraceCursor::new(trace), device)
+    }
+
+    /// Runs any in-order op source (e.g. a bounded-memory
+    /// [`TraceStream`](readduo_trace::TraceStream)) against `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source has more cores than the configuration.
+    pub fn run_source<D: DeviceModel + ?Sized, S: OpSource>(
+        &self,
+        source: &mut S,
+        device: &mut D,
+    ) -> SimReport {
         assert!(
-            trace.cores() <= self.config.cores,
+            source.cores() <= self.config.cores,
             "trace has {} cores but the machine only {}",
-            trace.cores(),
+            source.cores(),
             self.config.cores
         );
         let run = Run {
             cfg: self.config,
             device,
-            trace,
+            source,
             banks: (0..self.config.banks).map(|_| Bank::default()).collect(),
-            cursor: vec![0; trace.cores()],
-            heap: BinaryHeap::new(),
-            seq: 0,
+            live_cores: 0,
+            events: EventQueue::new(),
             bus_busy_until: 0,
             report: SimReport::default(),
             scrub_period_ns: None,
@@ -139,12 +147,13 @@ impl Simulator {
     }
 }
 
-impl<D: DeviceModel + ?Sized> Run<'_, D> {
+impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
     fn execute(mut self) -> SimReport {
         // Seed core events.
         let cycle = self.cfg.cycle_ns();
-        for core in 0..self.trace.cores() {
-            if let Some(op) = self.trace.stream(core).first() {
+        for core in 0..self.source.cores() {
+            if let Some(op) = self.source.peek(core) {
+                self.live_cores += 1;
                 let at = (op.icount as f64 * cycle) as u64;
                 self.push(at, EventKind::CoreIssue(core));
             }
@@ -168,21 +177,21 @@ impl<D: DeviceModel + ?Sized> Run<'_, D> {
             }
         }
         let mut exec_end = 0u64;
-        while let Some(Reverse(ev)) = self.heap.pop() {
-            match ev.kind {
+        while let Some((at, kind)) = self.events.pop() {
+            match kind {
                 EventKind::CoreIssue(core) => {
-                    let done = self.core_issue(core, ev.at);
+                    let done = self.core_issue(core, at);
                     exec_end = exec_end.max(done);
                 }
-                EventKind::BankKick(b) => self.bank_kick(b, ev.at),
+                EventKind::BankKick(b) => self.bank_kick(b, at),
                 EventKind::ScrubTick(b) => {
                     // Once all cores drained, stop re-arming scrub ticks so
                     // the run terminates; pending bank kicks still drain the
                     // write queues for faithful energy/lifetime accounting.
-                    if self.cores_done() {
+                    if self.live_cores == 0 {
                         continue;
                     }
-                    self.scrub_tick(b, ev.at);
+                    self.scrub_tick(b, at);
                 }
             }
         }
@@ -190,13 +199,8 @@ impl<D: DeviceModel + ?Sized> Run<'_, D> {
         self.report
     }
 
-    fn cores_done(&self) -> bool {
-        (0..self.trace.cores()).all(|c| self.cursor[c] >= self.trace.stream(c).len())
-    }
-
     fn push(&mut self, at: u64, kind: EventKind) {
-        self.seq += 1;
-        self.heap.push(Reverse(Event { at, seq: self.seq, kind }));
+        self.events.push(at, kind);
     }
 
     fn secs(&self, ns: u64) -> f64 {
@@ -206,8 +210,7 @@ impl<D: DeviceModel + ?Sized> Run<'_, D> {
     /// Issues one op for `core` at time `now`; returns the core-visible
     /// completion time of this op.
     fn core_issue(&mut self, core: usize, now: u64) -> u64 {
-        let idx = self.cursor[core];
-        let op = self.trace.stream(core)[idx];
+        let op = self.source.peek(core).expect("issue event for a drained core");
         let b = self.cfg.bank_of(op.line);
         match op.kind {
             OpKind::Read => {
@@ -248,7 +251,7 @@ impl<D: DeviceModel + ?Sized> Run<'_, D> {
                     });
                 }
                 self.schedule_kick(b, done);
-                self.advance_core(core, done)
+                self.advance_core(core, op.icount, done)
             }
             OpKind::Write => {
                 if self.banks[b].queue.len() >= self.cfg.write_queue_cap {
@@ -271,21 +274,22 @@ impl<D: DeviceModel + ?Sized> Run<'_, D> {
                 });
                 self.schedule_kick_or_run(b, now.max(self.banks[b].busy_until), now);
                 // Posted write: the core moves on immediately.
-                self.advance_core(core, now)
+                self.advance_core(core, op.icount, now)
             }
         }
     }
 
-    /// Advances `core` past its current op (completed at `done`) and
-    /// schedules its next issue. Returns the completion time.
-    fn advance_core(&mut self, core: usize, done: u64) -> u64 {
-        let idx = self.cursor[core];
-        self.cursor[core] = idx + 1;
-        let stream = self.trace.stream(core);
-        if let Some(next) = stream.get(idx + 1) {
-            let delta_instr = next.icount - stream[idx].icount;
+    /// Advances `core` past its current op (with instruction count
+    /// `issued_icount`, completed at `done`) and schedules its next issue.
+    /// Returns the completion time.
+    fn advance_core(&mut self, core: usize, issued_icount: u64, done: u64) -> u64 {
+        self.source.advance(core);
+        if let Some(next) = self.source.peek(core) {
+            let delta_instr = next.icount - issued_icount;
             let at = done + (delta_instr as f64 * self.cfg.cycle_ns()) as u64;
             self.push(at, EventKind::CoreIssue(core));
+        } else {
+            self.live_cores -= 1;
         }
         done
     }
@@ -314,7 +318,7 @@ impl<D: DeviceModel + ?Sized> Run<'_, D> {
                 return;
             }
         }
-        if at == now && self.heap.peek().is_none_or(|&Reverse(e)| e.at > now) {
+        if at == now && self.events.next_is_after(now) {
             self.banks[b].kick_scheduled_at = Some(at);
             self.bank_kick(b, at);
         } else {

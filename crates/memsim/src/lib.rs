@@ -42,6 +42,7 @@
 pub mod config;
 pub mod device;
 pub mod engine;
+mod sched;
 pub mod stats;
 
 pub use config::{EnergyModel, MemoryConfig};

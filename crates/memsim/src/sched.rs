@@ -1,0 +1,260 @@
+//! A two-level bucketed event scheduler.
+//!
+//! The engine's event population is bimodal: almost everything (core
+//! issues, bank kicks) lands within a few microseconds of *now*, while
+//! scrub ticks recur hundreds of microseconds out. A single global
+//! `BinaryHeap` pays `O(log n)` sift costs dominated by those far-future
+//! entries on every hot-path push. [`EventQueue`] splits the timeline
+//! instead:
+//!
+//! * a small **current-window heap** (`cur`) ordering only the events due
+//!   in the next [`BUCKET_WIDTH_NS`] nanoseconds,
+//! * a **timing wheel** of [`BUCKETS`] unsorted buckets, one per window,
+//!   covering ≈1 ms ahead — insertion is an `O(1)` vector push,
+//! * a sorted **overflow** heap for anything beyond the wheel horizon
+//!   (scrub ticks at paper scale, idle-core wakeups), migrated inward as
+//!   the horizon advances.
+//!
+//! Pop order is *exactly* the global `(at, seq)` order a single heap would
+//! produce: `cur` always holds every pending event of the current window,
+//! and every event elsewhere is strictly later. The engine's inline-kick
+//! fast path needs only [`next_is_after`], which inspects `cur` alone for
+//! the same reason.
+//!
+//! [`next_is_after`]: EventQueue::next_is_after
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// log2 of the bucket width: each wheel bucket spans 4096 ns.
+const BUCKET_BITS: u32 = 12;
+
+/// Width of one wheel bucket (and of the current window) in nanoseconds.
+pub(crate) const BUCKET_WIDTH_NS: u64 = 1 << BUCKET_BITS;
+
+/// Number of wheel buckets: the wheel horizon is `256 × 4096 ns ≈ 1.05 ms`,
+/// comfortably past every near-future event the engine schedules (bank
+/// occupancy and core wakeups are tens of nanoseconds to microseconds out)
+/// while scrub cadences (e.g. 305 µs/line at S = 640 s) still fit.
+pub(crate) const BUCKETS: usize = 256;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry<K> {
+    at: u64,
+    seq: u64,
+    kind: K,
+}
+
+impl<K> PartialEq for Entry<K> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<K> Eq for Entry<K> {}
+impl<K> Ord for Entry<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl<K> PartialOrd for Entry<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The two-level scheduler. `K` is the event payload; ordering is by
+/// `(time, insertion sequence)` only, so FIFO among same-time events is
+/// preserved exactly as with the previous global heap.
+#[derive(Debug)]
+pub(crate) struct EventQueue<K> {
+    /// Events due in `[bucket_start, bucket_start + BUCKET_WIDTH_NS)`.
+    cur: BinaryHeap<Reverse<Entry<K>>>,
+    /// Unsorted buckets for `[window end, horizon)`; slot = `(at / width) % BUCKETS`.
+    wheel: Vec<Vec<Entry<K>>>,
+    /// Sorted far-future events at or beyond the horizon.
+    overflow: BinaryHeap<Reverse<Entry<K>>>,
+    /// Start of the current window; always a multiple of the bucket width.
+    bucket_start: u64,
+    /// Events currently in the wheel.
+    wheel_len: usize,
+    /// Total pending events.
+    len: usize,
+    seq: u64,
+}
+
+impl<K> EventQueue<K> {
+    pub(crate) fn new() -> Self {
+        Self {
+            cur: BinaryHeap::new(),
+            wheel: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            bucket_start: 0,
+            wheel_len: 0,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Schedules `kind` at time `at` (nanoseconds). Events pushed while one
+    /// is being processed must not be earlier than the current window —
+    /// the engine only ever schedules at or after *now*.
+    pub(crate) fn push(&mut self, at: u64, kind: K) {
+        self.seq += 1;
+        self.len += 1;
+        let entry = Entry { at, seq: self.seq, kind };
+        self.route(entry);
+    }
+
+    /// True when no pending event is due at or before `now` other than the
+    /// ones `pop` would already have returned — i.e. the next pop is
+    /// strictly later than `now`. This is the guard of the engine's
+    /// inline-kick fast path. `now` must lie within the current window
+    /// (which holds whenever the caller is processing an event popped at
+    /// `now`), since only `cur` is inspected.
+    pub(crate) fn next_is_after(&self, now: u64) -> bool {
+        debug_assert!(
+            self.bucket_start <= now && now < self.horizon(),
+            "next_is_after queried outside the current window"
+        );
+        self.cur.peek().is_none_or(|Reverse(e)| e.at > now)
+    }
+
+    /// Removes and returns the earliest pending event by `(at, seq)`.
+    pub(crate) fn pop(&mut self) -> Option<(u64, K)> {
+        loop {
+            if let Some(Reverse(e)) = self.cur.pop() {
+                self.len -= 1;
+                return Some((e.at, e.kind));
+            }
+            if self.len == 0 {
+                return None;
+            }
+            if self.wheel_len == 0 {
+                // Only far-future events remain: jump the window straight
+                // to the earliest one instead of stepping bucket by bucket.
+                let min_at = self.overflow.peek().expect("len > 0 with empty tiers").0.at;
+                self.bucket_start = min_at & !(BUCKET_WIDTH_NS - 1);
+            } else {
+                self.bucket_start += BUCKET_WIDTH_NS;
+            }
+            // The horizon moved: pull newly covered far-future events in.
+            let horizon = self.horizon();
+            while self.overflow.peek().is_some_and(|Reverse(e)| e.at < horizon) {
+                let Reverse(e) = self.overflow.pop().expect("just peeked");
+                self.route(e);
+            }
+            // Promote the new window's bucket into the sorted heap.
+            let slot = (self.bucket_start >> BUCKET_BITS) as usize % BUCKETS;
+            if !self.wheel[slot].is_empty() {
+                self.wheel_len -= self.wheel[slot].len();
+                for e in self.wheel[slot].drain(..) {
+                    self.cur.push(Reverse(e));
+                }
+            }
+        }
+    }
+
+    fn horizon(&self) -> u64 {
+        self.bucket_start + BUCKET_WIDTH_NS * BUCKETS as u64
+    }
+
+    fn route(&mut self, entry: Entry<K>) {
+        if entry.at < self.bucket_start + BUCKET_WIDTH_NS {
+            self.cur.push(Reverse(entry));
+        } else if entry.at < self.horizon() {
+            // Slots `(bucket_start/width + 1 .. + BUCKETS - 1) % BUCKETS`
+            // cover this range, so the current window's own slot is never
+            // written — no collision between live and future windows.
+            let slot = (entry.at >> BUCKET_BITS) as usize % BUCKETS;
+            self.wheel[slot].push(entry);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use readduo_rng::rngs::StdRng;
+    use readduo_rng::{Rng, SeedableRng};
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(50, "b");
+        q.push(10, "a");
+        q.push(50, "c"); // same time as "b": FIFO by insertion
+        q.push(5_000_000, "far"); // beyond the wheel horizon
+        q.push(20_000, "wheel"); // in the wheel, outside the first window
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((50, "b")));
+        assert_eq!(q.pop(), Some((50, "c")));
+        assert_eq!(q.pop(), Some((20_000, "wheel")));
+        assert_eq!(q.pop(), Some((5_000_000, "far")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn next_is_after_sees_same_window_events() {
+        let mut q = EventQueue::new();
+        q.push(100, 1u32);
+        q.push(100, 2u32);
+        q.push(200, 3u32);
+        let (now, _) = q.pop().expect("has events");
+        assert_eq!(now, 100);
+        assert!(!q.next_is_after(now), "a same-time event is still pending");
+        let _ = q.pop();
+        assert!(q.next_is_after(now), "only strictly later events remain");
+    }
+
+    #[test]
+    fn empty_queue_next_is_after_everything() {
+        let q: EventQueue<u8> = EventQueue::new();
+        assert!(q.next_is_after(0));
+    }
+
+    /// The scheduler must reproduce a plain `BinaryHeap`'s `(at, seq)` pop
+    /// order exactly, under interleaved pushes and pops spanning all three
+    /// tiers (current window, wheel, overflow) with same-time collisions.
+    #[test]
+    fn matches_reference_heap_under_random_interleaving() {
+        let mut rng = StdRng::seed_from_u64(0x5EED_5EED);
+        let mut q = EventQueue::new();
+        let mut reference: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _ in 0..20_000 {
+            if rng.gen::<f64>() < 0.55 || reference.is_empty() {
+                // Mix of near (same window), wheel-range, and far-future
+                // offsets, with deliberate duplicates of `now`.
+                let offset = match rng.gen_range(0..10u32) {
+                    0 => 0,
+                    1..=5 => rng.gen_range(0..200),
+                    6..=8 => rng.gen_range(0..BUCKET_WIDTH_NS * BUCKETS as u64),
+                    _ => rng.gen_range(0..20_000_000),
+                };
+                seq += 1;
+                q.push(now + offset, seq);
+                reference.push(Reverse((now + offset, seq)));
+            } else {
+                let got = q.pop().expect("reference non-empty");
+                let Reverse(want) = reference.pop().expect("non-empty");
+                assert_eq!(got, want, "divergence at now={now}");
+                now = got.0;
+            }
+        }
+        while let Some(Reverse(want)) = reference.pop() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -15,6 +15,8 @@
 
 use readduo_math::GaussLegendre;
 use readduo_pcm::{CellLevel, MetricConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Analytic per-cell error model for one metric configuration.
 #[derive(Debug, Clone)]
@@ -125,6 +127,64 @@ impl CachedErrorCurve {
     /// Convenience: the curve a scheme needs, covering 1 s .. ~30 years.
     pub fn standard(model: &CellErrorModel) -> Self {
         Self::new(model, 1.0, 1e9, 256)
+    }
+
+    /// A process-wide memoised curve for `(cfg, grid)` — the lazily built
+    /// per-params lookup table behind every scheme's drift sampler.
+    ///
+    /// The benchmark harness constructs one device per (scheme, workload)
+    /// pair — dozens per matrix, thousands across a sweep — and each wants
+    /// the tabulated curve of its metric configuration. Tabulating is 256
+    /// quadrature integrals (milliseconds); this cache pays that once per
+    /// *distinct* parameter set and hands out shared `Arc`s afterwards, so
+    /// sensitivity studies that perturb `MetricConfig` still tabulate each
+    /// variant exactly once. Keys are bit-exact over every parameter that
+    /// enters the integral, so two configs share a curve only when they
+    /// would produce identical tables.
+    pub fn shared(cfg: &MetricConfig, t_min_s: f64, t_max_s: f64, points: usize) -> Arc<Self> {
+        static CACHE: OnceLock<Mutex<HashMap<Vec<u64>, Arc<CachedErrorCurve>>>> = OnceLock::new();
+        let mut key: Vec<u64> = Vec::with_capacity(20);
+        key.push(match cfg.kind() {
+            readduo_pcm::MetricKind::R => 0,
+            readduo_pcm::MetricKind::M => 1,
+        });
+        key.push(cfg.t0().to_bits());
+        for lp in cfg.levels() {
+            key.extend([
+                lp.mu.to_bits(),
+                lp.sigma.to_bits(),
+                lp.mu_alpha.to_bits(),
+                lp.sigma_alpha.to_bits(),
+            ]);
+        }
+        key.extend([t_min_s.to_bits(), t_max_s.to_bits(), points as u64]);
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(curve) = cache.lock().expect("curve cache poisoned").get(&key) {
+            return Arc::clone(curve);
+        }
+        // Tabulate outside the lock so two threads wanting *different*
+        // params do not serialise; a racing duplicate of the same params is
+        // rare and harmless (first insert wins, both tables are identical).
+        let curve = Arc::new(Self::new(
+            &CellErrorModel::new(cfg.clone()),
+            t_min_s,
+            t_max_s,
+            points,
+        ));
+        Arc::clone(
+            cache
+                .lock()
+                .expect("curve cache poisoned")
+                .entry(key)
+                .or_insert(curve),
+        )
+    }
+
+    /// Memoised [`standard`] grid for `cfg`.
+    ///
+    /// [`standard`]: CachedErrorCurve::standard
+    pub fn shared_standard(cfg: &MetricConfig) -> Arc<Self> {
+        Self::shared(cfg, 1.0, 1e9, 256)
     }
 
     /// Interpolated mean cell error probability at `age_s`.
@@ -262,6 +322,28 @@ mod tests {
         // Clamps at both ends.
         assert!(curve.prob(1e-3) <= curve.prob(2.0));
         assert!(curve.prob(1e12) >= curve.prob(1e8));
+    }
+
+    #[test]
+    fn shared_curves_are_memoised_per_params() {
+        // Same params → the same allocation; different params → distinct
+        // curves with the expected ordering (M safer than R).
+        let r1 = CachedErrorCurve::shared_standard(&MetricConfig::r_metric());
+        let r2 = CachedErrorCurve::shared_standard(&MetricConfig::r_metric());
+        assert!(Arc::ptr_eq(&r1, &r2), "identical params must share one table");
+        let m = CachedErrorCurve::shared_standard(&MetricConfig::m_metric());
+        assert!(!Arc::ptr_eq(&r1, &m));
+        assert!(m.prob(640.0) < r1.prob(640.0));
+        // A different grid over the same params is a different table.
+        let coarse = CachedErrorCurve::shared(&MetricConfig::r_metric(), 1.0, 1e9, 64);
+        assert!(!Arc::ptr_eq(&r1, &coarse));
+        let coarse2 = CachedErrorCurve::shared(&MetricConfig::r_metric(), 1.0, 1e9, 64);
+        assert!(Arc::ptr_eq(&coarse, &coarse2));
+        // And the memoised table matches a freshly tabulated one exactly.
+        let fresh = CachedErrorCurve::standard(&r_model());
+        for t in [2.0, 8.0, 640.0, 1e6] {
+            assert_eq!(r1.prob(t), fresh.prob(t), "t={t}");
+        }
     }
 
     #[test]

@@ -1,4 +1,12 @@
 //! The synthetic trace generator.
+//!
+//! Generation is *resumable*: the per-core loop lives in [`CoreGen`], which
+//! produces one [`MemOp`] per call, so the streaming API
+//! ([`crate::stream::TraceStream`]) and the materialising [`generate`]
+//! wrapper draw from literally the same code path and RNG stream — their
+//! equality is structural, not coincidental.
+//!
+//! [`generate`]: TraceGenerator::generate
 
 use crate::record::{MemOp, OpKind, Trace};
 use crate::workload::Workload;
@@ -25,70 +33,37 @@ impl TraceGenerator {
     /// Generates a trace of `instructions_per_core` instructions on each of
     /// `cores` cores running `workload`.
     ///
+    /// Thin materialising wrapper over [`stream`]: it drains the same
+    /// per-core generators the streaming replay pulls from, so the two are
+    /// bit-for-bit identical by construction.
+    ///
+    /// [`stream`]: TraceGenerator::stream
+    ///
     /// # Panics
     ///
     /// Panics if `cores == 0` or `instructions_per_core == 0`.
     pub fn generate(&self, workload: &Workload, instructions_per_core: u64, cores: usize) -> Trace {
-        assert!(cores > 0, "need at least one core");
-        assert!(instructions_per_core > 0, "need a positive instruction budget");
-        let mut trace = Trace::new(workload.name, cores);
-        let footprint = workload.footprint_lines.max(16);
-        // The warm region holds data written during the window; everything
-        // above it is cold data written long before the trace started.
-        let warm_lines = ((footprint as f64 * workload.locality.written_fraction) as u64)
-            .clamp(1, footprint);
-        let cold_lines = footprint - warm_lines;
-        let zipf_warm = Zipf::new(warm_lines, workload.locality.zipf_s);
-        let zipf_cold = (cold_lines > 0).then(|| Zipf::new(cold_lines, workload.locality.zipf_s));
-        let mean_gap = 1000.0 / workload.mpki();
-        let read_fraction = workload.rpki / workload.mpki();
+        self.stream(workload, instructions_per_core, cores)
+            .collect_trace()
+    }
 
-        for core in 0..cores {
-            let mut rng = self.core_rng(workload.name, core);
-            // Each core works a private slice of the footprint plus a shared
-            // region, mimicking partitioned heaps with shared read-mostly
-            // data.
-            let core_salt = (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let mut stream_cursor = rng.gen_range(0..warm_lines);
-            let mut icount = 0u64;
-            loop {
-                // Exponential inter-arrival with the workload's MPKI.
-                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                let gap = (-u.ln() * mean_gap).ceil() as u64;
-                icount = icount.saturating_add(gap.max(1));
-                if icount > instructions_per_core {
-                    break;
-                }
-                let is_read = rng.gen::<f64>() < read_fraction;
-                let cold_read = is_read
-                    && zipf_cold.is_some()
-                    && rng.gen::<f64>() < workload.locality.cold_read_fraction;
-                let line = if cold_read {
-                    // A read into the static dataset (Zipf-reused, so hot
-                    // cold lines reward R-M-read conversion).
-                    let rank = zipf_cold.as_ref().expect("guarded").sample(&mut rng);
-                    warm_lines + permute(rank - 1, cold_lines, core_salt)
-                } else if rng.gen::<f64>() < workload.locality.streaming_fraction {
-                    // Sequential streaming through the warm working set.
-                    stream_cursor = (stream_cursor + 1) % warm_lines;
-                    stream_cursor
-                } else {
-                    // Zipf reuse over the warm region: reads revisit the
-                    // same hot lines the writes touch.
-                    let rank = zipf_warm.sample(&mut rng);
-                    permute(rank - 1, warm_lines, core_salt)
-                };
-                trace.push(
-                    core,
-                    MemOp {
-                        icount,
-                        line,
-                        kind: if is_read { OpKind::Read } else { OpKind::Write },
-                    },
-                );
-            }
-        }
-        trace
+    /// Opens a pull-based [`TraceStream`] over the same (workload, seed)
+    /// trace [`generate`] would materialise, holding only a bounded chunk
+    /// of records per core in memory at any time.
+    ///
+    /// [`TraceStream`]: crate::stream::TraceStream
+    /// [`generate`]: TraceGenerator::generate
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or `instructions_per_core == 0`.
+    pub fn stream(
+        &self,
+        workload: &Workload,
+        instructions_per_core: u64,
+        cores: usize,
+    ) -> crate::stream::TraceStream {
+        crate::stream::TraceStream::new(*self, workload, instructions_per_core, cores)
     }
 
     /// Per-(workload, core) RNG so adding cores never perturbs existing
@@ -99,6 +74,107 @@ impl TraceGenerator {
             h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
         }
         StdRng::seed_from_u64(h ^ (core as u64).wrapping_mul(0xD129_0577_9372_1937))
+    }
+}
+
+/// The resumable per-core generation state: one call to [`next_op`]
+/// reproduces exactly one iteration of the original generation loop,
+/// consuming the identical RNG draws in the identical order.
+///
+/// [`next_op`]: CoreGen::next_op
+#[derive(Debug, Clone)]
+pub(crate) struct CoreGen {
+    rng: StdRng,
+    zipf_warm: Zipf,
+    zipf_cold: Option<Zipf>,
+    warm_lines: u64,
+    cold_lines: u64,
+    mean_gap: f64,
+    read_fraction: f64,
+    cold_read_fraction: f64,
+    streaming_fraction: f64,
+    /// Each core works a private slice of the footprint plus a shared
+    /// region, mimicking partitioned heaps with shared read-mostly data.
+    core_salt: u64,
+    stream_cursor: u64,
+    icount: u64,
+    budget: u64,
+    done: bool,
+}
+
+impl CoreGen {
+    pub(crate) fn new(
+        generator: &TraceGenerator,
+        workload: &Workload,
+        instructions_per_core: u64,
+        core: usize,
+    ) -> Self {
+        assert!(instructions_per_core > 0, "need a positive instruction budget");
+        let footprint = workload.footprint_lines.max(16);
+        // The warm region holds data written during the window; everything
+        // above it is cold data written long before the trace started.
+        let warm_lines = ((footprint as f64 * workload.locality.written_fraction) as u64)
+            .clamp(1, footprint);
+        let cold_lines = footprint - warm_lines;
+        let mut rng = generator.core_rng(workload.name, core);
+        let stream_cursor = rng.gen_range(0..warm_lines);
+        Self {
+            rng,
+            zipf_warm: Zipf::new(warm_lines, workload.locality.zipf_s),
+            zipf_cold: (cold_lines > 0).then(|| Zipf::new(cold_lines, workload.locality.zipf_s)),
+            warm_lines,
+            cold_lines,
+            mean_gap: 1000.0 / workload.mpki(),
+            read_fraction: workload.rpki / workload.mpki(),
+            cold_read_fraction: workload.locality.cold_read_fraction,
+            streaming_fraction: workload.locality.streaming_fraction,
+            core_salt: (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            stream_cursor,
+            icount: 0,
+            budget: instructions_per_core,
+            done: false,
+        }
+    }
+
+    /// The next op of this core's stream, or `None` once the instruction
+    /// budget is exhausted (permanently — the RNG is not consumed after
+    /// that).
+    pub(crate) fn next_op(&mut self) -> Option<MemOp> {
+        if self.done {
+            return None;
+        }
+        // Exponential inter-arrival with the workload's MPKI.
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = (-u.ln() * self.mean_gap).ceil() as u64;
+        self.icount = self.icount.saturating_add(gap.max(1));
+        if self.icount > self.budget {
+            self.done = true;
+            return None;
+        }
+        let is_read = self.rng.gen::<f64>() < self.read_fraction;
+        let cold_read = is_read
+            && self.zipf_cold.is_some()
+            && self.rng.gen::<f64>() < self.cold_read_fraction;
+        let line = if cold_read {
+            // A read into the static dataset (Zipf-reused, so hot cold
+            // lines reward R-M-read conversion).
+            let rank = self.zipf_cold.as_ref().expect("guarded").sample(&mut self.rng);
+            self.warm_lines + permute(rank - 1, self.cold_lines, self.core_salt)
+        } else if self.rng.gen::<f64>() < self.streaming_fraction {
+            // Sequential streaming through the warm working set.
+            self.stream_cursor = (self.stream_cursor + 1) % self.warm_lines;
+            self.stream_cursor
+        } else {
+            // Zipf reuse over the warm region: reads revisit the same hot
+            // lines the writes touch.
+            let rank = self.zipf_warm.sample(&mut self.rng);
+            permute(rank - 1, self.warm_lines, self.core_salt)
+        };
+        Some(MemOp {
+            icount: self.icount,
+            line,
+            kind: if is_read { OpKind::Read } else { OpKind::Write },
+        })
     }
 }
 

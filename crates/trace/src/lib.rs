@@ -38,11 +38,13 @@
 pub mod format;
 pub mod generator;
 pub mod record;
+pub mod stream;
 pub mod workload;
 pub mod zipf;
 
 pub use format::{read_trace, write_trace};
 pub use generator::TraceGenerator;
 pub use record::{MemOp, OpKind, Trace};
+pub use stream::{LineInterner, OpSource, TraceCursor, TraceStream, DEFAULT_CHUNK};
 pub use workload::{Locality, Workload};
 pub use zipf::Zipf;

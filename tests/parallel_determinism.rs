@@ -26,18 +26,39 @@ fn run_matrix_is_identical_across_thread_counts() {
 
     std::env::set_var("READDUO_THREADS", "4");
     let parallel = harness.run_matrix(&schemes, &workloads);
+    let streamed_par = harness.run_matrix_streamed(&schemes, &workloads);
     std::env::set_var("READDUO_THREADS", "1");
     let sequential = harness.run_matrix(&schemes, &workloads);
+    let streamed_seq = harness.run_matrix_streamed(&schemes, &workloads);
     std::env::remove_var("READDUO_THREADS");
 
     assert_eq!(parallel.len(), schemes.len() * workloads.len());
     assert_eq!(sequential.len(), parallel.len());
-    for (p, s) in parallel.iter().zip(&sequential) {
+    assert_eq!(streamed_par.len(), parallel.len());
+    assert_eq!(streamed_seq.len(), parallel.len());
+    for (((p, s), sp), ss) in parallel
+        .iter()
+        .zip(&sequential)
+        .zip(&streamed_par)
+        .zip(&streamed_seq)
+    {
         assert_eq!(p.workload, s.workload, "matrix order must not depend on completion order");
         assert_eq!(p.scheme, s.scheme);
         assert_eq!(
             p.report, s.report,
             "parallel report diverged for {} / {}",
+            p.workload, p.scheme
+        );
+        assert_eq!((&sp.workload, sp.scheme), (&p.workload, p.scheme));
+        assert_eq!((&ss.workload, ss.scheme), (&p.workload, p.scheme));
+        assert_eq!(
+            sp.report, p.report,
+            "streamed parallel report diverged for {} / {}",
+            p.workload, p.scheme
+        );
+        assert_eq!(
+            ss.report, p.report,
+            "streamed sequential report diverged for {} / {}",
             p.workload, p.scheme
         );
     }

@@ -280,6 +280,33 @@ fn lwt_flags_safety_regression_b2cf3c1f() {
     lwt_flags_safety_prop(&ops).expect("pinned regression case must pass");
 }
 
+/// Streaming generation is chunk-size invariant: any refill granularity
+/// collects to exactly the trace `generate()` materialises.
+#[test]
+fn trace_stream_chunk_invariant() {
+    check(
+        "trace_stream_chunk_invariant",
+        |rng| {
+            (
+                rng.gen::<u64>(),
+                rng.gen_range(1_000u64..10_000),
+                rng.gen_range(1usize..=512),
+            )
+        },
+        |&(seed, instr, chunk)| {
+            if !(1_000..10_000).contains(&instr) || !(1..=512).contains(&chunk) {
+                return Ok(());
+            }
+            let gen = TraceGenerator::new(seed);
+            let w = Workload::toy();
+            let materialised = gen.generate(&w, instr, 2);
+            let collected = gen.stream(&w, instr, 2).with_chunk(chunk).collect_trace();
+            ensure_eq!(collected, materialised);
+            Ok(())
+        },
+    );
+}
+
 /// Trace serialisation round-trips for arbitrary generated traces.
 #[test]
 fn trace_format_round_trips() {
