@@ -52,6 +52,16 @@ if [ "$elapsed" -gt 300 ]; then
     exit 1
 fi
 
+# Seeded fault-injection smoke: the Monte-Carlo cross-validation binary
+# asserts empirical line-error rates stay within confidence bounds of the
+# analytic model and that the full R-fail → M-retry → ECC-correct →
+# corrective-rewrite chain resolves every read with zero silent
+# corruptions. 4000 lines per point keeps it a few seconds in release.
+echo "==> fault-injection smoke (READDUO_FAULT_MC_LINES=4000)"
+READDUO_FAULT_SEED=16384023 READDUO_FAULT_MC_LINES=4000 \
+    ./target/release/fault_mc >/dev/null
+echo "    fault_mc assertions passed"
+
 # Clippy ships with rustup toolchains but may be absent in minimal
 # containers; the gate is advisory there rather than a hard failure.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -14,10 +14,7 @@ use std::time::Instant;
 
 fn main() {
     let h = Harness::from_env();
-    let ceiling_mb: u64 = std::env::var("READDUO_RSS_CEILING_MB")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(512);
+    let ceiling_mb = readduo_env::u64_at_least("READDUO_RSS_CEILING_MB", 1).unwrap_or(512);
     let mcf = Workload::by_name("mcf").expect("mcf is in the SPEC2006 set");
     let schemes = SchemeKind::headline();
     eprintln!(

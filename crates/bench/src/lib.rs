@@ -62,10 +62,8 @@ pub struct Harness {
 impl Harness {
     /// Builds the default harness; `READDUO_INSTR` overrides the volume.
     pub fn from_env() -> Self {
-        let instructions_per_core = std::env::var("READDUO_INSTR")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1_000_000);
+        let instructions_per_core =
+            readduo_env::u64_at_least("READDUO_INSTR", 1).unwrap_or(1_000_000);
         Self {
             instructions_per_core,
             cores: 4,
@@ -160,6 +158,38 @@ impl Harness {
     pub fn run_one(&self, workload: &Workload, scheme: SchemeKind) -> RunResult {
         let trace = self.trace_for(workload);
         self.run_on_trace(workload, &trace, scheme)
+    }
+
+    /// Runs one (workload, scheme) pair with Monte-Carlo fault injection
+    /// attached: demand reads sample real error patterns, decode them with
+    /// BCH-8, and (for the ReadDuo schemes) escalate failed R-decodes to
+    /// M-reads with corrective rewrites. `fault_seed` drives the fault
+    /// stream independently of the harness seed. Returns `None` for
+    /// schemes without an injected read path (Ideal, M-metric, TLC).
+    pub fn run_one_faulty(
+        &self,
+        workload: &Workload,
+        scheme: SchemeKind,
+        fault_seed: u64,
+    ) -> Option<RunResult> {
+        // Same warm-boundary computation as `device_for`, so faulty runs
+        // are directly comparable with their fault-free counterparts.
+        let warm_boundary = (workload.footprint_lines.max(16) as f64
+            * workload.locality.written_fraction) as u64;
+        let mut device = scheme.build_faulty(
+            self.seed ^ workload.name.len() as u64,
+            fault_seed,
+            warm_boundary,
+            workload.footprint_lines,
+        )?;
+        let trace = self.trace_for(workload);
+        let sim = Simulator::new(self.memory);
+        let report = sim.run(&trace, device.as_mut());
+        Some(RunResult {
+            workload: workload.name,
+            scheme,
+            report,
+        })
     }
 
     /// Runs the full `schemes × workloads` matrix on the ambient pool
@@ -547,6 +577,18 @@ mod tests {
             std::slice::from_ref(&w),
         );
         assert_eq!(lone.report, matrix[0].report);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_gated() {
+        let h = tiny_harness();
+        let w = Workload::toy();
+        assert!(h.run_one_faulty(&w, SchemeKind::Ideal, 1).is_none());
+        assert!(h.run_one_faulty(&w, SchemeKind::MMetric, 1).is_none());
+        let a = h.run_one_faulty(&w, SchemeKind::Hybrid, 3).unwrap();
+        let b = h.run_one_faulty(&w, SchemeKind::Hybrid, 3).unwrap();
+        assert_eq!(a.report, b.report);
+        assert!(a.report.reads > 0);
     }
 
     #[test]

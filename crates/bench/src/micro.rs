@@ -86,11 +86,8 @@ pub struct Micro {
 impl Micro {
     /// Creates a runner; `READDUO_BENCH_SAMPLES` overrides the sample count.
     pub fn new() -> Self {
-        let samples_per_bench = std::env::var("READDUO_BENCH_SAMPLES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n >= 3)
-            .unwrap_or(20);
+        let samples_per_bench =
+            readduo_env::usize_at_least("READDUO_BENCH_SAMPLES", 3).unwrap_or(20);
         Self {
             samples_per_bench,
             results: Vec::new(),

@@ -49,6 +49,7 @@ pub mod area;
 pub mod common;
 pub mod conversion;
 pub mod edap;
+pub mod fault;
 pub mod flags;
 pub mod linestate;
 pub mod scheme;
@@ -57,6 +58,7 @@ pub mod schemes;
 pub use area::{LineStorage, SubarrayArea};
 pub use conversion::ConversionController;
 pub use edap::EdapInputs;
+pub use fault::{FaultInjector, InjectedRead};
 pub use flags::LwtFlags;
 pub use linestate::{LineState, LineTable};
 pub use scheme::SchemeKind;

@@ -125,6 +125,58 @@ impl SchemeKind {
         }
     }
 
+    /// Builds the device model with Monte-Carlo fault injection attached
+    /// (`fault_seed` drives the fault stream independently of the analytic
+    /// sampler's `seed`). Returns `None` for schemes without an injected
+    /// read path: Ideal and TLC are drift-free by construction, and
+    /// M-metric's direct M-reads never exercise the escalation chain the
+    /// injector models.
+    pub fn build_faulty(
+        &self,
+        seed: u64,
+        fault_seed: u64,
+        warm_boundary: u64,
+        footprint_lines: u64,
+    ) -> Option<Box<dyn DeviceModel>> {
+        match *self {
+            SchemeKind::Scrubbing => Some(Box::new(
+                ScrubbingScheme::paper(seed)
+                    .with_fault_injection(fault_seed)
+                    .with_warm_region(warm_boundary)
+                    .with_dense_region(footprint_lines),
+            )),
+            SchemeKind::ScrubbingW0 => Some(Box::new(
+                ScrubbingScheme::paper_w0(seed)
+                    .with_fault_injection(fault_seed)
+                    .with_dense_region(footprint_lines),
+            )),
+            SchemeKind::Hybrid => Some(Box::new(
+                HybridScheme::paper(seed)
+                    .with_fault_injection(fault_seed)
+                    .with_dense_region(footprint_lines),
+            )),
+            SchemeKind::Lwt { k } => Some(Box::new(
+                LwtScheme::paper(seed, k)
+                    .with_fault_injection(fault_seed)
+                    .with_warm_region(warm_boundary)
+                    .with_dense_region(footprint_lines),
+            )),
+            SchemeKind::LwtNoConversion { k } => Some(Box::new(
+                LwtScheme::without_conversion(seed, k)
+                    .with_fault_injection(fault_seed)
+                    .with_warm_region(warm_boundary)
+                    .with_dense_region(footprint_lines),
+            )),
+            SchemeKind::Select { k, s } => Some(Box::new(
+                LwtScheme::select(seed, k, s)
+                    .with_fault_injection(fault_seed)
+                    .with_warm_region(warm_boundary)
+                    .with_dense_region(footprint_lines),
+            )),
+            SchemeKind::Ideal | SchemeKind::MMetric | SchemeKind::Tlc => None,
+        }
+    }
+
     /// Per-line storage cost for the area factor of EDAP.
     pub fn storage(&self) -> LineStorage {
         match *self {
@@ -178,6 +230,26 @@ mod tests {
             assert!(r.latency_ns >= 150, "{k}");
             let _ = k.storage();
             assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn faulty_builds_cover_the_injectable_schemes() {
+        let injectable = [
+            SchemeKind::Scrubbing,
+            SchemeKind::ScrubbingW0,
+            SchemeKind::Hybrid,
+            SchemeKind::Lwt { k: 4 },
+            SchemeKind::LwtNoConversion { k: 2 },
+            SchemeKind::Select { k: 4, s: 1 },
+        ];
+        for k in injectable {
+            let mut dev = k.build_faulty(1, 2, 0, 0).expect("injectable scheme");
+            let r = dev.on_read(0, 10.0);
+            assert!(r.latency_ns >= 150, "{k}");
+        }
+        for k in [SchemeKind::Ideal, SchemeKind::MMetric, SchemeKind::Tlc] {
+            assert!(k.build_faulty(1, 2, 0, 0).is_none(), "{k}");
         }
     }
 

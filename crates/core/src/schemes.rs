@@ -19,6 +19,7 @@ use crate::common::{
     differential_write, full_line_write, DriftSampler, CORRECT_MAX, DETECT_MAX,
 };
 use crate::conversion::ConversionController;
+use crate::fault::FaultInjector;
 use crate::flags::LwtFlags;
 use crate::linestate::LineTable;
 use readduo_memsim::{
@@ -67,6 +68,7 @@ pub struct ScrubbingScheme {
     timing: SenseTiming,
     interval_s: f64,
     w: u32,
+    injector: Option<FaultInjector>,
     counters: SchemeCounters,
 }
 
@@ -96,6 +98,7 @@ impl ScrubbingScheme {
             timing: SenseTiming::paper(),
             interval_s,
             w,
+            injector: None,
             counters: SchemeCounters::default(),
         }
     }
@@ -118,23 +121,47 @@ impl ScrubbingScheme {
         self.table.set_dense_region(lines);
         self
     }
+
+    /// Attaches Monte-Carlo fault injection to demand reads. The baseline
+    /// has only R-sensing, so failed decodes surface as
+    /// detected-uncorrectable instead of escalating.
+    pub fn with_fault_injection(mut self, seed: u64) -> Self {
+        self.injector = Some(FaultInjector::new(seed, false));
+        self
+    }
+
+    /// Overrides the cold-line age assumption — a validation/stress knob
+    /// that rebuilds the line table, so call it before the region setters.
+    pub fn with_cold_age(mut self, age_s: f64) -> Self {
+        self.table = LineTable::new(2, self.interval_s, age_s);
+        self
+    }
 }
 
 impl DeviceModel for ScrubbingScheme {
     fn on_read(&mut self, line: u64, now_s: f64) -> ReadOutcome {
         let st = *self.table.get_mut(line, now_s);
         let age = self.table.full_write_age(&st, now_s);
+        if let Some(inj) = self.injector.as_mut() {
+            let r = inj.read_at(age);
+            if r.detected_uncorrectable {
+                self.counters.uncorrectable_reads += 1;
+            }
+            return ReadOutcome {
+                drift_errors: r.r_errors,
+                ecc_corrected_bits: r.corrected_bits,
+                detected_uncorrectable: r.detected_uncorrectable,
+                silent_corruption: r.silent_corruption,
+                ..ReadOutcome::basic(self.timing.r_read_ns, ReadMode::RRead, self.energy.r_read_pj)
+            };
+        }
         let errors = self.sampler.bit_errors_r(age);
         if errors > DETECT_MAX {
             self.counters.uncorrectable_reads += 1;
         }
         ReadOutcome {
-            latency_ns: self.timing.r_read_ns,
-            mode: ReadMode::RRead,
-            energy_pj: self.energy.r_read_pj,
-            conversion: None,
-            untracked: false,
             drift_errors: errors,
+            ..ReadOutcome::basic(self.timing.r_read_ns, ReadMode::RRead, self.energy.r_read_pj)
         }
     }
 
@@ -221,12 +248,8 @@ impl DeviceModel for MMetricScheme {
         let age = self.table.full_write_age(&st, now_s);
         let errors = self.sampler.bit_errors_m(age);
         ReadOutcome {
-            latency_ns: self.timing.m_read_ns,
-            mode: ReadMode::MRead,
-            energy_pj: self.energy.m_read_pj,
-            conversion: None,
-            untracked: false,
             drift_errors: errors,
+            ..ReadOutcome::basic(self.timing.m_read_ns, ReadMode::MRead, self.energy.m_read_pj)
         }
     }
 
@@ -273,6 +296,7 @@ pub struct HybridScheme {
     energy: EnergyModel,
     timing: SenseTiming,
     interval_s: f64,
+    injector: Option<FaultInjector>,
     counters: SchemeCounters,
 }
 
@@ -285,6 +309,7 @@ impl HybridScheme {
             energy: EnergyModel::paper(),
             timing: SenseTiming::paper(),
             interval_s: 640.0,
+            injector: None,
             counters: SchemeCounters::default(),
         }
     }
@@ -301,6 +326,24 @@ impl HybridScheme {
         self
     }
 
+    /// Attaches Monte-Carlo fault injection: demand reads sample real
+    /// error patterns, decode them with BCH-8, and escalate failed
+    /// R-decodes to M-reads; an escalated read that survived through ECC
+    /// schedules a corrective rewrite.
+    pub fn with_fault_injection(mut self, seed: u64) -> Self {
+        self.injector = Some(FaultInjector::new(seed, true));
+        self
+    }
+
+    /// Overrides the cold-line age assumption — a validation/stress knob
+    /// (e.g. to exercise the escalation band, which `W = 0` scrubbing
+    /// makes astronomically rare at natural ages). Rebuilds the line
+    /// table, so call it before the region setters.
+    pub fn with_cold_age(mut self, age_s: f64) -> Self {
+        self.table = LineTable::new(2, self.interval_s, age_s);
+        self
+    }
+
     /// The three-band read path shared with the LWT schemes.
     fn banded_read(
         sampler: &mut DriftSampler,
@@ -312,37 +355,66 @@ impl HybridScheme {
         let errors = sampler.bit_errors_r(age);
         if errors <= CORRECT_MAX {
             ReadOutcome {
-                latency_ns: timing.r_read_ns,
-                mode: ReadMode::RRead,
-                energy_pj: energy.r_read_pj,
-                conversion: None,
-                untracked: false,
                 drift_errors: errors,
+                ..ReadOutcome::basic(timing.r_read_ns, ReadMode::RRead, energy.r_read_pj)
             }
         } else if errors <= DETECT_MAX {
             // Detected but uncorrectable under R: retry with M-sensing.
             counters.rm_reads += 1;
             let m_errors = sampler.bit_errors_m(age);
             ReadOutcome {
-                latency_ns: timing.rm_read_ns(),
-                mode: ReadMode::RmRead,
-                energy_pj: energy.r_read_pj + energy.m_read_pj,
-                conversion: None,
-                untracked: false,
                 drift_errors: m_errors,
+                ..ReadOutcome::basic(
+                    timing.rm_read_ns(),
+                    ReadMode::RmRead,
+                    energy.r_read_pj + energy.m_read_pj,
+                )
             }
         } else {
             // Beyond detection: the data goes back uncorrected.
             counters.uncorrectable_reads += 1;
             ReadOutcome {
-                latency_ns: timing.r_read_ns,
-                mode: ReadMode::RRead,
-                energy_pj: energy.r_read_pj,
-                conversion: None,
-                untracked: false,
                 drift_errors: errors,
+                ..ReadOutcome::basic(timing.r_read_ns, ReadMode::RRead, energy.r_read_pj)
             }
         }
+    }
+
+    /// The injected counterpart of [`Self::banded_read`]: error patterns
+    /// come from the fault model and band membership from actual BCH
+    /// decoding. Returns the outcome (without corrective traffic) and
+    /// whether the caller must schedule a corrective rewrite.
+    fn injected_banded_read(
+        injector: &mut FaultInjector,
+        energy: &EnergyModel,
+        timing: &SenseTiming,
+        counters: &mut SchemeCounters,
+        age: f64,
+    ) -> (ReadOutcome, bool) {
+        let r = injector.read_at(age);
+        if r.detected_uncorrectable {
+            counters.uncorrectable_reads += 1;
+        }
+        let mut out = if r.escalated {
+            counters.rm_reads += 1;
+            ReadOutcome {
+                drift_errors: r.m_errors,
+                ..ReadOutcome::basic(
+                    timing.rm_read_ns(),
+                    ReadMode::RmRead,
+                    energy.r_read_pj + energy.m_read_pj,
+                )
+            }
+        } else {
+            ReadOutcome {
+                drift_errors: r.r_errors,
+                ..ReadOutcome::basic(timing.r_read_ns, ReadMode::RRead, energy.r_read_pj)
+            }
+        };
+        out.ecc_corrected_bits = r.corrected_bits;
+        out.detected_uncorrectable = r.detected_uncorrectable;
+        out.silent_corruption = r.silent_corruption;
+        (out, r.needs_rewrite)
     }
 }
 
@@ -350,6 +422,24 @@ impl DeviceModel for HybridScheme {
     fn on_read(&mut self, line: u64, now_s: f64) -> ReadOutcome {
         let st = *self.table.get_mut(line, now_s);
         let age = self.table.full_write_age(&st, now_s);
+        if let Some(inj) = self.injector.as_mut() {
+            let (mut out, needs_rewrite) = Self::injected_banded_read(
+                inj,
+                &self.energy,
+                &self.timing,
+                &mut self.counters,
+                age,
+            );
+            if needs_rewrite {
+                // The line is only readable through escalation: rewrite it
+                // so it re-enters the fast R-readable population.
+                let st = self.table.get_mut(line, now_s);
+                st.last_full_write_s = now_s;
+                self.counters.full_writes += 1;
+                out.corrective = Some(full_line_write(&self.energy, &self.timing, 0));
+            }
+            return out;
+        }
         Self::banded_read(
             &mut self.sampler,
             &self.energy,
@@ -401,6 +491,7 @@ pub struct LwtScheme {
     conversion_enabled: bool,
     /// Select-(k:s) window in sub-intervals; 0 disables SDW (plain LWT).
     sdw_window: u8,
+    injector: Option<FaultInjector>,
     counters: SchemeCounters,
 }
 
@@ -440,8 +531,17 @@ impl LwtScheme {
             controller: ConversionController::paper(),
             conversion_enabled: conversion,
             sdw_window,
+            injector: None,
             counters: SchemeCounters::default(),
         }
+    }
+
+    /// Attaches Monte-Carlo fault injection: tracked reads run the
+    /// injected R→M escalation chain; untracked reads sample the direct
+    /// M-read pattern (conversion decisions are untouched).
+    pub fn with_fault_injection(mut self, seed: u64) -> Self {
+        self.injector = Some(FaultInjector::new(seed, true));
+        self
     }
 
     /// Side counters.
@@ -482,6 +582,26 @@ impl DeviceModel for LwtScheme {
         self.controller.observe_read(!allows_r);
         if allows_r {
             let age = self.table.full_write_age(&st, now_s);
+            if let Some(inj) = self.injector.as_mut() {
+                let (mut out, needs_rewrite) = HybridScheme::injected_banded_read(
+                    inj,
+                    &self.energy,
+                    &self.timing,
+                    &mut self.counters,
+                    age,
+                );
+                if needs_rewrite {
+                    let slc = LwtFlags::storage_bits(self.k);
+                    let st = self.table.get_mut(line, now_s);
+                    st.last_full_write_s = now_s;
+                    if let Some(s) = sub {
+                        st.flags.on_write(s);
+                    }
+                    self.counters.full_writes += 1;
+                    out.corrective = Some(full_line_write(&self.energy, &self.timing, slc));
+                }
+                return out;
+            }
             return HybridScheme::banded_read(
                 &mut self.sampler,
                 &self.energy,
@@ -494,7 +614,11 @@ impl DeviceModel for LwtScheme {
         // reissued — an R-M-read.
         self.counters.rm_reads += 1;
         let age = self.table.full_write_age(&st, now_s);
-        let errors = self.sampler.bit_errors_m(age);
+        let injected = self.injector.as_mut().map(|inj| inj.read_m_at(age));
+        let errors = match injected {
+            Some(r) => r.m_errors,
+            None => self.sampler.bit_errors_m(age),
+        };
         let convert = self.conversion_enabled
             && self.controller.should_convert(self.counters.rm_reads);
         let conversion = if convert {
@@ -512,14 +636,25 @@ impl DeviceModel for LwtScheme {
         } else {
             None
         };
-        ReadOutcome {
-            latency_ns: self.timing.rm_read_ns(),
-            mode: ReadMode::RmRead,
-            energy_pj: self.energy.r_read_pj + self.energy.m_read_pj,
+        let mut out = ReadOutcome {
             conversion,
             untracked: true,
             drift_errors: errors,
+            ..ReadOutcome::basic(
+                self.timing.rm_read_ns(),
+                ReadMode::RmRead,
+                self.energy.r_read_pj + self.energy.m_read_pj,
+            )
+        };
+        if let Some(r) = injected {
+            out.ecc_corrected_bits = r.corrected_bits;
+            out.detected_uncorrectable = r.detected_uncorrectable;
+            out.silent_corruption = r.silent_corruption;
+            if r.detected_uncorrectable {
+                self.counters.uncorrectable_reads += 1;
+            }
         }
+        out
     }
 
     fn on_write(&mut self, line: u64, now_s: f64) -> WriteOutcome {
@@ -616,14 +751,7 @@ impl Default for TlcScheme {
 
 impl DeviceModel for TlcScheme {
     fn on_read(&mut self, _line: u64, _now_s: f64) -> ReadOutcome {
-        ReadOutcome {
-            latency_ns: self.timing.r_read_ns,
-            mode: ReadMode::RRead,
-            energy_pj: self.energy.r_read_pj,
-            conversion: None,
-            untracked: false,
-            drift_errors: 0,
-        }
+        ReadOutcome::basic(self.timing.r_read_ns, ReadMode::RRead, self.energy.r_read_pj)
     }
 
     fn on_write(&mut self, _line: u64, _now_s: f64) -> WriteOutcome {

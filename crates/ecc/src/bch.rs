@@ -25,6 +25,24 @@ pub enum DecodeOutcome {
     Detected,
 }
 
+/// Outcome of decoding a known error *pattern* (see
+/// [`Bch::decode_error_pattern`]). Because the true codeword is known, the
+/// miscorrection case — invisible to a real decoder — is reported exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternOutcome {
+    /// The pattern was empty: the read was already correct.
+    Clean,
+    /// The decoder restored the true codeword, fixing this many bits.
+    Corrected(usize),
+    /// The decoder flagged the word uncorrectable (detected-uncorrectable:
+    /// the host knows the data is bad).
+    Detected,
+    /// The decoder accepted or produced a *wrong* codeword — silent data
+    /// corruption, the failure mode ReadDuo's detect/correct decoupling is
+    /// designed to make vanishingly rare.
+    Miscorrected,
+}
+
 /// A shortened binary BCH code.
 ///
 /// Codeword layout: `data_bits` data bits followed by `parity_bits` parity
@@ -249,6 +267,45 @@ impl Bch {
         self.syndromes(cw).iter().any(|&s| s != 0)
     }
 
+    /// Decodes an *error pattern* — the set of flipped codeword bit
+    /// positions — without materialising data.
+    ///
+    /// The code is linear, so decoder behaviour depends only on the error
+    /// pattern: injecting the flips into the all-zero codeword and
+    /// decoding is exactly equivalent to corrupting any real codeword the
+    /// same way. This is what fault injection needs (the simulator tracks
+    /// errors, not contents), and it also sharpens the verdict: after
+    /// decoding we know ground truth (the zero word), so a "successful"
+    /// correction that lands on the *wrong* codeword is reported as
+    /// [`PatternOutcome::Miscorrected`] — silent corruption — rather than
+    /// a success.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of codeword range or repeated.
+    pub fn decode_error_pattern(&self, positions: &[u16]) -> PatternOutcome {
+        let mut cw = BitVec::zeros(self.codeword_bits());
+        for &p in positions {
+            assert!(
+                (p as usize) < self.codeword_bits(),
+                "error position {p} outside {}-bit codeword",
+                self.codeword_bits()
+            );
+            assert!(!cw.get(p as usize), "error position {p} repeated");
+            cw.set(p as usize, true);
+        }
+        match self.decode(&mut cw) {
+            DecodeOutcome::Clean if positions.is_empty() => PatternOutcome::Clean,
+            // A nonzero pattern with all-zero syndromes IS another
+            // codeword: the errors are invisible and the data is wrong.
+            DecodeOutcome::Clean => PatternOutcome::Miscorrected,
+            DecodeOutcome::Corrected(n) if cw.count_ones() == 0 => PatternOutcome::Corrected(n),
+            // Decoder "corrected" onto a codeword other than the true one.
+            DecodeOutcome::Corrected(_) => PatternOutcome::Miscorrected,
+            DecodeOutcome::Detected => PatternOutcome::Detected,
+        }
+    }
+
     /// Berlekamp–Massey over GF(2^m). Returns σ as a coefficient vector
     /// (σ[0] = 1), or `None` on an internal inconsistency.
     fn berlekamp_massey(&self, synd: &[u32]) -> Option<Vec<u32>> {
@@ -463,5 +520,64 @@ mod tests {
             }
             assert_eq!(cw, clean);
         }
+    }
+
+    #[test]
+    fn pattern_decode_matches_word_decode() {
+        // Linearity: decoding positions injected into the zero word must
+        // agree with decoding the same corruption of a random codeword.
+        let code = paper_code();
+        let mut rng = StdRng::seed_from_u64(7);
+        for count in 0..=12usize {
+            let data = random_data(&mut rng, 64);
+            let mut cw = code.encode(&data);
+            let positions: Vec<u16> = corrupt(&mut cw, &mut rng, count)
+                .into_iter()
+                .map(|p| p as u16)
+                .collect();
+            let word = code.decode(&mut cw);
+            let pattern = code.decode_error_pattern(&positions);
+            match (word, pattern) {
+                (DecodeOutcome::Clean, PatternOutcome::Clean) => assert_eq!(count, 0),
+                (DecodeOutcome::Corrected(a), PatternOutcome::Corrected(b)) => {
+                    assert_eq!(a, b);
+                    assert_eq!(a, count);
+                }
+                (DecodeOutcome::Detected, PatternOutcome::Detected) => assert!(count > 8),
+                other => panic!("divergent outcomes for {count} errors: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_decode_boundaries() {
+        let code = paper_code();
+        assert_eq!(code.decode_error_pattern(&[]), PatternOutcome::Clean);
+        // Exactly t errors correct; t+1..=2t+1 must never pass silently.
+        let at_t: Vec<u16> = (0..8u16).map(|i| i * 70).collect();
+        assert_eq!(code.decode_error_pattern(&at_t), PatternOutcome::Corrected(8));
+        // Between t+1 and 2t errors the code must never claim success:
+        // the designed distance guarantees detection (miscorrection onto
+        // a wrong codeword is flagged as such, never as Corrected/Clean).
+        for count in 9..=16u16 {
+            let pat: Vec<u16> = (0..count).map(|i| i * 34).collect();
+            let out = code.decode_error_pattern(&pat);
+            assert!(
+                matches!(out, PatternOutcome::Detected | PatternOutcome::Miscorrected),
+                "count={count}: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn pattern_decode_rejects_out_of_range() {
+        let _ = paper_code().decode_error_pattern(&[592]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn pattern_decode_rejects_duplicates() {
+        let _ = paper_code().decode_error_pattern(&[3, 3]);
     }
 }

@@ -48,7 +48,7 @@ pub mod parity;
 pub mod poly;
 pub mod secded;
 
-pub use bch::{Bch, DecodeOutcome};
+pub use bch::{Bch, DecodeOutcome, PatternOutcome};
 pub use bitvec::BitVec;
 pub use gf::GfField;
 pub use parity::InterleavedParity;

@@ -1,0 +1,144 @@
+//! Validated `READDUO_*` environment-variable overrides.
+//!
+//! Every tunable in the workspace (`READDUO_THREADS`, `READDUO_CHUNK`,
+//! `READDUO_INSTR`, `READDUO_RSS_CEILING_MB`, `READDUO_FAULT_SEED`, …)
+//! goes through this one helper. The old pattern —
+//! `var(..).ok().and_then(parse).filter(..).unwrap_or(default)` — silently
+//! fell back to the default on a typo, which is the worst possible
+//! behaviour for a reproducibility harness: `READDUO_THREADS=O4` quietly
+//! ran a different experiment than the one the operator asked for.
+//!
+//! Here an *unset* variable means "use the default" (the helpers return
+//! `None` and the caller supplies it), while a *set but invalid* value —
+//! garbage, a zero where a positive count is required, a trailing unit
+//! suffix — panics with a message naming the variable, the offending
+//! value, and what would have been accepted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::env;
+
+/// Reads `name` as a `usize` that must be at least `min`.
+///
+/// Returns `None` when the variable is unset so the caller can apply its
+/// default; empty values count as unset (shells produce them when a
+/// variable is interpolated from nothing).
+///
+/// # Panics
+///
+/// Panics with a diagnostic naming the variable when the value is set but
+/// not an integer, or below `min`.
+pub fn usize_at_least(name: &str, min: usize) -> Option<usize> {
+    raw(name).map(|v| match v.trim().parse::<usize>() {
+        Ok(n) if n >= min => n,
+        Ok(n) => invalid(name, &v, &format!("{n} is below the minimum of {min}")),
+        Err(_) => invalid(name, &v, &format!("expected an integer >= {min}")),
+    })
+}
+
+/// Reads `name` as a `u64` that must be at least `min`.
+///
+/// Same unset/empty semantics as [`usize_at_least`].
+///
+/// # Panics
+///
+/// Panics with a diagnostic naming the variable when the value is set but
+/// not an integer, or below `min`.
+pub fn u64_at_least(name: &str, min: u64) -> Option<u64> {
+    raw(name).map(|v| match v.trim().parse::<u64>() {
+        Ok(n) if n >= min => n,
+        Ok(n) => invalid(name, &v, &format!("{n} is below the minimum of {min}")),
+        Err(_) => invalid(name, &v, &format!("expected an integer >= {min}")),
+    })
+}
+
+/// Reads `name` as an RNG seed: any `u64`, zero included (zero is a
+/// perfectly good seed — the in-tree splitmix expansion handles it).
+///
+/// # Panics
+///
+/// Panics with a diagnostic naming the variable when the value is set but
+/// not an unsigned integer.
+pub fn seed_u64(name: &str) -> Option<u64> {
+    raw(name).map(|v| match v.trim().parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => invalid(name, &v, "expected an unsigned 64-bit integer seed"),
+    })
+}
+
+/// The raw value of `name`, with unset and empty both mapped to `None`.
+fn raw(name: &str) -> Option<String> {
+    match env::var(name) {
+        Ok(v) if v.trim().is_empty() => None,
+        Ok(v) => Some(v),
+        Err(_) => None,
+    }
+}
+
+fn invalid(name: &str, value: &str, hint: &str) -> ! {
+    panic!("invalid {name}={value:?}: {hint} (unset the variable to use the default)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test owns a distinct variable name: the process environment is
+    // shared across the test harness's threads, so tests must never touch
+    // the same key.
+
+    #[test]
+    fn unset_and_empty_mean_default() {
+        assert_eq!(usize_at_least("READDUO_ENVTEST_UNSET", 1), None);
+        env::set_var("READDUO_ENVTEST_EMPTY", "  ");
+        assert_eq!(u64_at_least("READDUO_ENVTEST_EMPTY", 1), None);
+        env::remove_var("READDUO_ENVTEST_EMPTY");
+    }
+
+    #[test]
+    fn valid_values_parse() {
+        env::set_var("READDUO_ENVTEST_OK", " 42 ");
+        assert_eq!(usize_at_least("READDUO_ENVTEST_OK", 1), Some(42));
+        assert_eq!(u64_at_least("READDUO_ENVTEST_OK", 42), Some(42));
+        env::remove_var("READDUO_ENVTEST_OK");
+        env::set_var("READDUO_ENVTEST_SEED", "0");
+        assert_eq!(seed_u64("READDUO_ENVTEST_SEED"), Some(0));
+        env::remove_var("READDUO_ENVTEST_SEED");
+    }
+
+    #[test]
+    #[should_panic(expected = "READDUO_ENVTEST_ZERO")]
+    fn zero_below_minimum_rejected() {
+        env::set_var("READDUO_ENVTEST_ZERO", "0");
+        let _ = usize_at_least("READDUO_ENVTEST_ZERO", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected an integer")]
+    fn garbage_rejected() {
+        env::set_var("READDUO_ENVTEST_GARBAGE", "four");
+        let _ = u64_at_least("READDUO_ENVTEST_GARBAGE", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsigned 64-bit integer seed")]
+    fn garbage_seed_rejected() {
+        env::set_var("READDUO_ENVTEST_BADSEED", "0xbeef");
+        let _ = seed_u64("READDUO_ENVTEST_BADSEED");
+    }
+
+    #[test]
+    fn diagnostic_names_the_variable_and_value() {
+        env::set_var("READDUO_ENVTEST_MSG", "-3");
+        let err = std::panic::catch_unwind(|| usize_at_least("READDUO_ENVTEST_MSG", 1))
+            .expect_err("must reject");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("READDUO_ENVTEST_MSG"), "missing name: {msg}");
+        assert!(msg.contains("-3"), "missing value: {msg}");
+        env::remove_var("READDUO_ENVTEST_MSG");
+    }
+}

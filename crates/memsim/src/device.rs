@@ -36,6 +36,39 @@ pub struct ReadOutcome {
     pub untracked: bool,
     /// Drift errors the sensing observed (ground truth from the model).
     pub drift_errors: u32,
+    /// A corrective rewrite scheduled because the escalated read had to
+    /// repair the line through ECC (fault injection's R→M→BCH→rewrite
+    /// chain); queued on the bank like a demand write.
+    pub corrective: Option<WriteOutcome>,
+    /// Bits the ECC decoder fixed to deliver this read.
+    pub ecc_corrected_bits: u32,
+    /// The read failed even after escalation, but the failure was flagged
+    /// (detected-uncorrectable: the host sees a machine-check, not bad
+    /// data).
+    pub detected_uncorrectable: bool,
+    /// The read returned wrong data without any error indication — the
+    /// failure mode the paper's detect/correct decoupling minimises.
+    pub silent_corruption: bool,
+}
+
+impl ReadOutcome {
+    /// A plain successful read: no conversion, no corrective traffic, no
+    /// errors. Fault-free construction sites use struct update syntax on
+    /// top of this so new failure-path fields don't churn them.
+    pub fn basic(latency_ns: u64, mode: ReadMode, energy_pj: f64) -> Self {
+        Self {
+            latency_ns,
+            mode,
+            energy_pj,
+            conversion: None,
+            untracked: false,
+            drift_errors: 0,
+            corrective: None,
+            ecc_corrected_bits: 0,
+            detected_uncorrectable: false,
+            silent_corruption: false,
+        }
+    }
 }
 
 /// What a write did.
@@ -136,14 +169,7 @@ impl FixedLatencyDevice {
 
 impl DeviceModel for FixedLatencyDevice {
     fn on_read(&mut self, _line: u64, _now_s: f64) -> ReadOutcome {
-        ReadOutcome {
-            latency_ns: self.read_ns,
-            mode: ReadMode::RRead,
-            energy_pj: self.energy.r_read_pj,
-            conversion: None,
-            untracked: false,
-            drift_errors: 0,
-        }
+        ReadOutcome::basic(self.read_ns, ReadMode::RRead, self.energy.r_read_pj)
     }
 
     fn on_write(&mut self, _line: u64, _now_s: f64) -> WriteOutcome {

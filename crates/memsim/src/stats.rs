@@ -85,6 +85,24 @@ pub struct SimReport {
     pub energy_conversion_pj: f64,
     /// Total drift errors observed at reads.
     pub drift_errors_seen: u64,
+    /// Reads on which sensing returned at least one wrong bit (before
+    /// ECC); the numerator of the empirical line error rate.
+    pub reads_errored: u64,
+    /// Bits repaired by BCH decode across all reads.
+    pub ecc_corrected_bits: u64,
+    /// Reads that failed with an error indication even after escalation.
+    pub detected_uncorrectable: u64,
+    /// Reads that returned wrong data with no error indication.
+    pub silent_corruptions: u64,
+    /// Corrective rewrites scheduled by escalated reads.
+    pub corrective_rewrites: u64,
+    /// MLC cells programmed by corrective rewrites.
+    pub cells_written_corrective: u64,
+    /// Corrective-rewrite energy, pJ.
+    pub energy_corrective_pj: f64,
+    /// End-to-end latency of escalated (R-M) reads only — the retry-path
+    /// tail the paper's Figure 4 worries about.
+    pub retry_latency: LatencySummary,
 }
 
 impl SimReport {
@@ -101,11 +119,15 @@ impl SimReport {
     pub fn energy_total_pj(&self) -> f64 {
         self.energy_read_pj + self.energy_write_pj + self.energy_scrub_pj
             + self.energy_conversion_pj
+            + self.energy_corrective_pj
     }
 
     /// Total MLC cells programmed (lifetime / endurance proxy).
     pub fn cells_written_total(&self) -> u64 {
-        self.cells_written_demand + self.cells_written_scrub + self.cells_written_conversion
+        self.cells_written_demand
+            + self.cells_written_scrub
+            + self.cells_written_conversion
+            + self.cells_written_corrective
     }
 
     /// Fraction of reads that were untracked (`P%` as a ratio in [0,1]).
@@ -140,6 +162,21 @@ mod tests {
     }
 
     #[test]
+    fn latency_summary_does_not_overflow_at_u64_extremes() {
+        // sum_ns is u128 precisely so that pathological runs (u64::MAX-ns
+        // observations, e.g. saturated retry tails in stress harnesses)
+        // keep exact sums instead of wrapping.
+        let mut s = LatencySummary::default();
+        s.record(u64::MAX);
+        s.record(u64::MAX);
+        s.record(0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.max_ns(), u64::MAX);
+        let exact = 2.0 * u64::MAX as f64 / 3.0;
+        assert!((s.mean_ns() - exact).abs() / exact < 1e-12);
+    }
+
+    #[test]
     fn report_aggregates() {
         let mut r = SimReport::default();
         r.record_read_mode(ReadMode::RRead);
@@ -150,12 +187,14 @@ mod tests {
         r.energy_write_pj = 20.0;
         r.energy_scrub_pj = 5.0;
         r.energy_conversion_pj = 1.0;
+        r.energy_corrective_pj = 4.0;
         r.cells_written_demand = 256;
         r.cells_written_scrub = 256;
+        r.cells_written_corrective = 296;
         assert_eq!(r.reads_r, 1);
         assert_eq!(r.reads_rm, 1);
-        assert!((r.energy_total_pj() - 36.0).abs() < 1e-12);
-        assert_eq!(r.cells_written_total(), 512);
+        assert!((r.energy_total_pj() - 40.0).abs() < 1e-12);
+        assert_eq!(r.cells_written_total(), 808);
         assert!((r.untracked_fraction() - 0.5).abs() < 1e-12);
     }
 }

@@ -40,6 +40,7 @@
 
 pub mod cell;
 pub mod drift;
+pub mod fault;
 pub mod iv;
 pub mod line;
 pub mod params;
@@ -50,6 +51,7 @@ pub mod tlc;
 
 pub use cell::MlcCell;
 pub use drift::{log_metric_at, time_to_cross};
+pub use fault::{FaultModel, LineFaults};
 pub use iv::{IvCurve, ReadBias};
 pub use line::{MlcLine, SensedLine};
 pub use params::{LevelParams, MetricConfig, MetricKind, CELLS_PER_LINE, LINE_BYTES};

@@ -54,18 +54,15 @@ impl Pool {
 
     /// Sizes the pool from the machine, honouring `READDUO_THREADS`.
     ///
-    /// Resolution order: a parseable positive `READDUO_THREADS` wins;
+    /// Resolution order: a validated `READDUO_THREADS ≥ 1` wins (zero or
+    /// garbage panics with a clear message — see [`readduo_env`]);
     /// otherwise [`std::thread::available_parallelism`]; otherwise 1.
     pub fn from_env() -> Self {
-        let workers = std::env::var("READDUO_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+        let workers = readduo_env::usize_at_least("READDUO_THREADS", 1).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
         Self::new(workers)
     }
 

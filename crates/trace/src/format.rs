@@ -17,10 +17,67 @@
 //! error paths.
 
 use crate::record::{MemOp, OpKind, Trace};
+use std::fmt;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"RDTR";
 const VERSION: u32 = 1;
+const MAX_NAME_LEN: usize = 4096;
+
+/// Why a trace failed to parse — one variant per way the format can be
+/// violated, so harnesses can distinguish a truncated file from a corrupt
+/// one instead of pattern-matching error strings.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The underlying reader failed (including unexpected EOF on a
+    /// truncated trace).
+    Io(io::Error),
+    /// The first four bytes were not `RDTR`.
+    BadMagic([u8; 4]),
+    /// The on-disk version is not the one this reader speaks.
+    UnsupportedVersion(u32),
+    /// The workload-name length field exceeds the sanity bound.
+    NameTooLong(usize),
+    /// The workload name is not valid UTF-8.
+    NameNotUtf8,
+    /// The header declares zero cores.
+    ZeroCores,
+    /// A record carries an op-kind byte that is neither read nor write.
+    UnknownOpKind(u8),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "trace I/O error: {e}"),
+            ParseError::BadMagic(m) => write!(f, "bad magic number {m:02x?} (expected \"RDTR\")"),
+            ParseError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace version {v} (this reader speaks {VERSION})")
+            }
+            ParseError::NameTooLong(n) => {
+                write!(f, "workload name length {n} exceeds the {MAX_NAME_LEN}-byte bound")
+            }
+            ParseError::NameNotUtf8 => write!(f, "workload name is not UTF-8"),
+            ParseError::ZeroCores => write!(f, "trace has zero cores"),
+            ParseError::UnknownOpKind(k) => write!(f, "unknown op kind {k} (expected 0 or 1)"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
 
 /// Serialises a trace.
 ///
@@ -53,28 +110,29 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on a bad magic number, unsupported version,
-/// malformed name, unknown op kind, or truncated input.
-pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+/// Returns the specific [`ParseError`] variant for a bad magic number,
+/// unsupported version, malformed name, zero cores, unknown op kind, or
+/// any I/O failure (truncation included).
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ParseError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(bad("bad magic number"));
+        return Err(ParseError::BadMagic(magic));
     }
     let version = read_u32(&mut r)?;
     if version != VERSION {
-        return Err(bad(format!("unsupported trace version {version}")));
+        return Err(ParseError::UnsupportedVersion(version));
     }
     let name_len = read_u32(&mut r)? as usize;
-    if name_len > 4096 {
-        return Err(bad("unreasonable name length"));
+    if name_len > MAX_NAME_LEN {
+        return Err(ParseError::NameTooLong(name_len));
     }
     let mut name_bytes = vec![0u8; name_len];
     r.read_exact(&mut name_bytes)?;
-    let name = String::from_utf8(name_bytes).map_err(|_| bad("name is not UTF-8"))?;
+    let name = String::from_utf8(name_bytes).map_err(|_| ParseError::NameNotUtf8)?;
     let cores = read_u32(&mut r)? as usize;
     if cores == 0 {
-        return Err(bad("trace has zero cores"));
+        return Err(ParseError::ZeroCores);
     }
     let mut trace = Trace::new(name, cores);
     for core in 0..cores {
@@ -87,7 +145,7 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
             let kind = match kind[0] {
                 0 => OpKind::Read,
                 1 => OpKind::Write,
-                k => return Err(bad(format!("unknown op kind {k}"))),
+                k => return Err(ParseError::UnknownOpKind(k)),
             };
             trace.push(core, MemOp { icount, line, kind });
         }
@@ -105,10 +163,6 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
-}
-
-fn bad(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
 #[cfg(test)]
@@ -138,34 +192,73 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let err = read_trace(&b"NOPE"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, ParseError::BadMagic(m) if &m == b"NOPE"), "{err}");
     }
 
     #[test]
-    fn truncated_input_rejected() {
+    fn truncated_input_is_an_io_error() {
         let t = TraceGenerator::new(5).generate(&Workload::toy(), 5_000, 1);
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_trace(&buf[..]).is_err());
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(
+            matches!(&err, ParseError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof),
+            "{err}"
+        );
+        // The io::Error stays reachable through the source chain.
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    /// A syntactically valid header followed by `body`.
+    fn with_header(version: u32, name: &[u8], cores: u32, body: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"RDTR");
+        buf.extend_from_slice(&version.to_le_bytes());
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name);
+        buf.extend_from_slice(&cores.to_le_bytes());
+        buf.extend_from_slice(body);
+        buf
     }
 
     #[test]
     fn unknown_kind_rejected() {
-        let t = Trace::new("x", 1);
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u64.to_le_bytes()); // one record
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&2u64.to_le_bytes());
+        body.push(9); // invalid kind
+        let err = read_trace(&with_header(1, b"x", 1, &body)[..]).unwrap_err();
+        assert!(matches!(err, ParseError::UnknownOpKind(9)), "{err}");
+    }
+
+    #[test]
+    fn structural_errors_map_to_their_variants() {
+        let err = read_trace(&with_header(7, b"x", 1, &[])[..]).unwrap_err();
+        assert!(matches!(err, ParseError::UnsupportedVersion(7)), "{err}");
+
+        let err = read_trace(&with_header(1, b"x", 0, &[])[..]).unwrap_err();
+        assert!(matches!(err, ParseError::ZeroCores), "{err}");
+
+        let err = read_trace(&with_header(1, &[0xff, 0xfe], 1, &[])[..]).unwrap_err();
+        assert!(matches!(err, ParseError::NameNotUtf8), "{err}");
+
+        // Oversized name-length field (no name bytes follow — the bound
+        // check fires before any allocation).
         let mut buf = Vec::new();
-        write_trace(&t, &mut buf).unwrap();
-        // Append a bogus record count to core 0 by rebuilding manually.
-        let mut manual = Vec::new();
-        manual.extend_from_slice(b"RDTR");
-        manual.extend_from_slice(&1u32.to_le_bytes());
-        manual.extend_from_slice(&1u32.to_le_bytes());
-        manual.push(b'x');
-        manual.extend_from_slice(&1u32.to_le_bytes());
-        manual.extend_from_slice(&1u64.to_le_bytes()); // one record
-        manual.extend_from_slice(&1u64.to_le_bytes());
-        manual.extend_from_slice(&2u64.to_le_bytes());
-        manual.push(9); // invalid kind
-        assert!(read_trace(&manual[..]).is_err());
+        buf.extend_from_slice(b"RDTR");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&(MAX_NAME_LEN as u32 + 1).to_le_bytes());
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(matches!(err, ParseError::NameTooLong(n) if n == MAX_NAME_LEN + 1), "{err}");
+    }
+
+    #[test]
+    fn errors_render_actionable_messages() {
+        let msg = ParseError::UnsupportedVersion(3).to_string();
+        assert!(msg.contains('3') && msg.contains("version"), "{msg}");
+        let msg = ParseError::UnknownOpKind(7).to_string();
+        assert!(msg.contains('7'), "{msg}");
     }
 }

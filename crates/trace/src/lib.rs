@@ -42,7 +42,7 @@ pub mod stream;
 pub mod workload;
 pub mod zipf;
 
-pub use format::{read_trace, write_trace};
+pub use format::{read_trace, write_trace, ParseError};
 pub use generator::TraceGenerator;
 pub use record::{MemOp, OpKind, Trace};
 pub use stream::{LineInterner, OpSource, TraceCursor, TraceStream, DEFAULT_CHUNK};

@@ -190,11 +190,7 @@ impl TraceStream {
         cores: usize,
     ) -> Self {
         assert!(cores > 0, "need at least one core");
-        let chunk = std::env::var("READDUO_CHUNK")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&c| c > 0)
-            .unwrap_or(DEFAULT_CHUNK);
+        let chunk = readduo_env::usize_at_least("READDUO_CHUNK", 1).unwrap_or(DEFAULT_CHUNK);
         let states = (0..cores)
             .map(|core| CoreState {
                 generator: CoreGen::new(&generator, workload, instructions_per_core, core),

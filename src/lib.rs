@@ -40,6 +40,7 @@ pub use readduo_math as math;
 pub use readduo_memsim as memsim;
 pub use readduo_pcm as pcm;
 pub use readduo_reliability as reliability;
+pub use readduo_rng as rng;
 pub use readduo_trace as trace;
 
 /// Convenient glob-import surface for examples and tests.
