@@ -52,6 +52,22 @@ if [ "$elapsed" -gt 300 ]; then
     exit 1
 fi
 
+# Telemetry gate, both directions. (1) Enabled: a fig9 smoke with
+# READDUO_TELEMETRY=1 must emit a Chrome trace and a metrics snapshot
+# that the in-tree checker accepts, with the escalation events and a
+# populated read-latency histogram the paper's read path implies.
+# (2) Disabled (the default, as in the timed smoke above): telemetry must
+# stay a branch-and-return no-op — tests/telemetry_integration.rs pins
+# the bit-for-bit claim, and the fig9 smoke's 120 s budget already bounds
+# the wall clock with the hooks compiled in.
+echo "==> telemetry gate (READDUO_TELEMETRY=1 fig9 smoke + trace_check)"
+ttrace="target/experiments/ci-trace.json"
+READDUO_TELEMETRY=1 READDUO_TRACE_CAP=100000 READDUO_INSTR=50000 \
+    READDUO_TRACE_OUT="$ttrace" ./target/release/fig9 >/dev/null
+./target/release/trace_check "$ttrace" --metrics "$ttrace.metrics.json" \
+    --require read --require scrub --require escalation \
+    --require-hist sim.read_latency_ns
+
 # Seeded fault-injection smoke: the Monte-Carlo cross-validation binary
 # asserts empirical line-error rates stay within confidence bounds of the
 # analytic model and that the full R-fail → M-retry → ECC-correct →

@@ -105,6 +105,47 @@ fn bench_sweep(m: &mut Micro) {
     });
 }
 
+fn bench_telemetry(m: &mut Micro) {
+    eprintln!("telemetry:");
+    // The overhead budget: with telemetry disabled every instrumented
+    // call site must collapse to a load-and-branch. These run with the
+    // subsystem forced off (the production default) and with it on, so
+    // BENCH.json records both sides of the gate.
+    readduo_telemetry::set_enabled(false);
+    m.bench("telemetry/counter_add_disabled", || {
+        readduo_telemetry::metrics::counter_add(std::hint::black_box("micro.ctr"), 1)
+    });
+    m.bench("telemetry/hist_record_disabled", || {
+        readduo_telemetry::metrics::hist_record(std::hint::black_box("micro.hist"), 158)
+    });
+    m.bench("telemetry/phase_disabled", || {
+        readduo_telemetry::trace::phase(std::hint::black_box("micro.phase"))
+    });
+    // A whole engine run with telemetry off — the disabled-mode cost at
+    // the only granularity that matters for the ci.sh wall-clock budget.
+    let trace = TraceGenerator::new(1).generate(&Workload::toy(), 50_000, 2);
+    let sim = Simulator::new(MemoryConfig::small_test());
+    m.bench_batched(
+        "telemetry/sim_run_disabled",
+        || SchemeKind::Ideal.build(7),
+        |mut dev| sim.run(&trace, dev.as_mut()),
+    );
+    readduo_telemetry::set_enabled(true);
+    m.bench("telemetry/counter_add_enabled", || {
+        readduo_telemetry::metrics::counter_add(std::hint::black_box("micro.ctr"), 1)
+    });
+    m.bench_batched(
+        "telemetry/sim_run_enabled",
+        || SchemeKind::Ideal.build(7),
+        |mut dev| sim.run(&trace, dev.as_mut()),
+    );
+    readduo_telemetry::set_enabled(false);
+    // Drop the events this group traced so `finish` isn't skewed and the
+    // process exits with an empty collector.
+    let _ = readduo_telemetry::export::render_trace();
+    readduo_telemetry::metrics::reset();
+}
+
 fn main() {
     // `cargo bench` passes --bench (and optional filters) to the harness;
     // we run the full suite regardless.
@@ -114,5 +155,6 @@ fn main() {
     bench_reliability(&mut m);
     bench_simulator(&mut m);
     bench_sweep(&mut m);
+    bench_telemetry(&mut m);
     m.finish();
 }

@@ -11,7 +11,7 @@
 //! row.
 
 use readduo_bench::micro::Micro;
-use readduo_bench::{peak_rss_bytes, Harness};
+use readduo_bench::{finish_telemetry, handle_help, peak_rss_bytes, Harness};
 use readduo_core::SchemeKind;
 use readduo_memsim::MemoryConfig;
 use readduo_pool::Pool;
@@ -30,6 +30,10 @@ const PR1_SEQUENTIAL_MS: f64 = 1421.0;
 const PR2_SEQUENTIAL_WARM_MS: f64 = 704.0;
 
 fn main() {
+    handle_help(
+        "bench_sweep",
+        "Sweep-executor benchmark: times the Figure-9 matrix, checks parallel/streaming equivalence, writes BENCH_sweep.json",
+    );
     let h = Harness::from_env();
     let schemes = SchemeKind::headline();
     let workloads = Workload::spec2006();
@@ -81,7 +85,7 @@ fn main() {
     // Paper-scale row: the full headline matrix at 10M instructions/core,
     // streamed, with the process peak RSS recorded so the bounded-memory
     // claim is measured rather than asserted.
-    let skip_10m = std::env::var("READDUO_BENCH_SKIP_10M").is_ok_and(|v| v == "1");
+    let skip_10m = readduo_env::flag("READDUO_BENCH_SKIP_10M").unwrap_or(false);
     let (fig9_10m_ms, fig9_10m_rss_mb) = if skip_10m {
         eprintln!("skipping fig9@10M (READDUO_BENCH_SKIP_10M=1)");
         (-1.0, -1.0)
@@ -158,4 +162,5 @@ fn main() {
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     println!("{json}");
     eprintln!("[json] BENCH_sweep.json");
+    finish_telemetry();
 }

@@ -19,7 +19,7 @@
 //! `READDUO_FAULT_SEED` seeds the fault streams; `READDUO_FAULT_MC_LINES`
 //! sets the Monte-Carlo sample size (default 20 000 lines per point).
 
-use readduo_bench::{render_table, write_csv, Harness};
+use readduo_bench::{finish_telemetry, handle_help, render_table, write_csv, Harness};
 use readduo_core::{FaultInjector, HybridScheme, SchemeKind};
 use readduo_memsim::{MemoryConfig, Simulator};
 use readduo_pcm::{FaultModel, MetricConfig};
@@ -60,6 +60,10 @@ fn empirical_ler(
 }
 
 fn main() {
+    handle_help(
+        "fault_mc",
+        "Monte-Carlo fault-injection cross-validation: LER vs analytic, escalation audit, end-to-end runs",
+    );
     let seed = readduo_env::seed_u64("READDUO_FAULT_SEED").unwrap_or(0x00FA_0017);
     let n = readduo_env::u64_at_least("READDUO_FAULT_MC_LINES", 100).unwrap_or(20_000);
     let model = FaultModel::paper();
@@ -197,4 +201,5 @@ fn main() {
     assert_eq!(rep.silent_corruptions, 0, "cold Hybrid must not corrupt silently");
 
     println!("\nfault_mc: all assertions passed");
+    finish_telemetry();
 }

@@ -1,11 +1,17 @@
 //! Figure 9 — normalised execution time of the six headline schemes over
-//! the 14 SPEC2006 workloads.
+//! the 14 SPEC2006 workloads, plus the read-latency p99 tail per cell.
 
-use readduo_bench::{normalized, render_table, write_csv, Harness};
+use readduo_bench::{
+    finish_telemetry, handle_help, normalized, render_table, result_for, write_csv, Harness,
+};
 use readduo_core::SchemeKind;
 use readduo_trace::Workload;
 
 fn main() {
+    handle_help(
+        "fig9",
+        "Figure 9: normalised execution time of the headline schemes over SPEC2006",
+    );
     let harness = Harness::from_env();
     let schemes = SchemeKind::headline();
     let workloads = Workload::spec2006();
@@ -40,7 +46,42 @@ fn main() {
          LWT-4 +2.9%, Select-4:2 +3.4%"
     );
 
-    let mut csv = vec![header];
-    csv.extend(table);
+    // The tail behind the means: per-cell read-latency p99 from the
+    // engine's log2 histograms (values are bucket upper bounds, i.e. an
+    // overestimate of the true percentile by at most 2×).
+    let p99_of = |w: &str, s: SchemeKind| -> u64 {
+        result_for(&results, w, s)
+            .unwrap_or_else(|| panic!("missing {s} run for {w}"))
+            .report
+            .read_latency
+            .p99_ns()
+    };
+    let p99_table: Vec<Vec<String>> = workloads
+        .iter()
+        .map(|w| {
+            let mut row = vec![w.name.to_string()];
+            row.extend(schemes.iter().map(|&s| p99_of(w.name, s).to_string()));
+            row
+        })
+        .collect();
+    println!("\nRead-latency p99 per cell (ns, log2-bucket upper bounds)\n");
+    println!("{}", render_table(&header, &p99_table));
+
+    // CSV: the normalised table plus one p99 column per scheme (blank on
+    // the geomean row — percentiles do not average).
+    let mut csv_header = header.clone();
+    csv_header.extend(schemes.iter().map(|s| format!("p99_ns({})", s.label())));
+    let mut csv = vec![csv_header];
+    for (w, cols) in &rows {
+        let mut row = vec![w.clone()];
+        row.extend(cols.iter().map(|(_, v)| format!("{v:.3}")));
+        if w == "geomean" {
+            row.extend(schemes.iter().map(|_| String::new()));
+        } else {
+            row.extend(schemes.iter().map(|&s| p99_of(w, s).to_string()));
+        }
+        csv.push(row);
+    }
     write_csv("fig9", &csv);
+    finish_telemetry();
 }

@@ -7,12 +7,16 @@
 //! per core); `READDUO_RSS_CEILING_MB` overrides the ceiling (default
 //! 512 MB).
 
-use readduo_bench::{peak_rss_bytes, Harness};
+use readduo_bench::{finish_telemetry, handle_help, peak_rss_bytes, Harness};
 use readduo_core::SchemeKind;
 use readduo_trace::Workload;
 use std::time::Instant;
 
 fn main() {
+    handle_help(
+        "stream_smoke",
+        "Paper-scale streaming smoke: mcf through every headline scheme under an RSS ceiling",
+    );
     let h = Harness::from_env();
     let ceiling_mb = readduo_env::u64_at_least("READDUO_RSS_CEILING_MB", 1).unwrap_or(512);
     let mcf = Workload::by_name("mcf").expect("mcf is in the SPEC2006 set");
@@ -52,4 +56,5 @@ fn main() {
         rss_mb < ceiling_mb,
         "peak RSS {rss_mb} MB breached the {ceiling_mb} MB ceiling — streaming is no longer bounded"
     );
+    finish_telemetry();
 }

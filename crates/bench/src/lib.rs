@@ -78,6 +78,7 @@ impl Harness {
     /// workload's trace exactly once and every scheme simulates against
     /// the same `Arc`.
     pub fn trace_for(&self, workload: &Workload) -> Arc<Trace> {
+        let _phase = readduo_telemetry::trace::phase(format!("trace-gen/{}", workload.name));
         Arc::new(TraceGenerator::new(self.seed).generate(
             workload,
             self.instructions_per_core,
@@ -100,14 +101,18 @@ impl Harness {
         trace: &Trace,
         scheme: SchemeKind,
     ) -> RunResult {
+        let _phase = readduo_telemetry::trace::phase(format!("sim/{}/{scheme}", workload.name));
+        readduo_telemetry::trace::set_run_label(&format!("{}/{scheme}", workload.name));
         let sim = Simulator::new(self.memory);
         let mut device = self.device_for(workload, scheme);
         let report = sim.run(trace, device.as_mut());
-        RunResult {
+        let result = RunResult {
             workload: workload.name,
             scheme,
             report,
-        }
+        };
+        publish_run_metrics(&result);
+        result
     }
 
     /// Runs one scheme in streaming mode: the trace is generated chunk by
@@ -119,15 +124,20 @@ impl Harness {
     /// [`run_on_trace`]: Harness::run_on_trace
     /// [`trace_for`]: Harness::trace_for
     pub fn run_streamed(&self, workload: &Workload, scheme: SchemeKind) -> RunResult {
+        let _phase =
+            readduo_telemetry::trace::phase(format!("sim-stream/{}/{scheme}", workload.name));
+        readduo_telemetry::trace::set_run_label(&format!("{}/{scheme}", workload.name));
         let sim = Simulator::new(self.memory);
         let mut device = self.device_for(workload, scheme);
         let mut stream = self.stream_for(workload);
         let report = sim.run_source(&mut stream, device.as_mut());
-        RunResult {
+        let result = RunResult {
             workload: workload.name,
             scheme,
             report,
-        }
+        };
+        publish_run_metrics(&result);
+        result
     }
 
     /// Builds a workload's device for `scheme`, seeded identically on the
@@ -183,13 +193,18 @@ impl Harness {
             workload.footprint_lines,
         )?;
         let trace = self.trace_for(workload);
+        let _phase =
+            readduo_telemetry::trace::phase(format!("sim-faulty/{}/{scheme}", workload.name));
+        readduo_telemetry::trace::set_run_label(&format!("{}/{scheme} (faulty)", workload.name));
         let sim = Simulator::new(self.memory);
         let report = sim.run(&trace, device.as_mut());
-        Some(RunResult {
+        let result = RunResult {
             workload: workload.name,
             scheme,
             report,
-        })
+        };
+        publish_run_metrics(&result);
+        Some(result)
     }
 
     /// Runs the full `schemes × workloads` matrix on the ambient pool
@@ -303,6 +318,56 @@ impl Harness {
 impl Default for Harness {
     fn default() -> Self {
         Self::from_env()
+    }
+}
+
+/// Publishes one run's report into the telemetry metrics registry:
+/// traffic counters plus the full read/retry latency distributions
+/// (merged histogram-to-histogram, not re-recorded). No-op while
+/// telemetry is disabled.
+fn publish_run_metrics(r: &RunResult) {
+    if !readduo_telemetry::enabled() {
+        return;
+    }
+    use readduo_telemetry::metrics::{counter_add, hist_merge};
+    counter_add("sim.runs", 1);
+    counter_add("sim.reads", r.report.reads);
+    counter_add("sim.writes", r.report.writes);
+    counter_add("sim.reads_rm", r.report.reads_rm);
+    counter_add("sim.conversions", r.report.conversions);
+    counter_add("sim.write_cancellations", r.report.write_cancellations);
+    counter_add("sim.scrubs", r.report.scrubs);
+    counter_add("sim.scrubs_skipped", r.report.scrubs_skipped);
+    counter_add("sim.corrective_rewrites", r.report.corrective_rewrites);
+    hist_merge("sim.read_latency_ns", r.report.read_latency.histogram());
+    hist_merge("sim.retry_latency_ns", r.report.retry_latency.histogram());
+}
+
+/// Handles `--help`/`-h` for a bench binary: prints what the binary does,
+/// then the registry of every recognized `READDUO_*` variable (the
+/// binaries take no positional arguments — the environment is the whole
+/// interface), and exits.
+pub fn handle_help(bin: &str, about: &str) {
+    if std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+        println!("{bin} — {about}");
+        println!("\nUsage: {bin} [--help]");
+        println!("\nAll configuration is via READDUO_* environment variables:\n");
+        print!("{}", readduo_env::help_table());
+        std::process::exit(0);
+    }
+}
+
+/// Drains the telemetry trace and metrics to their configured output
+/// files, printing the paths. Call at the end of a binary's `main`; a
+/// silent no-op unless `READDUO_TELEMETRY` is on.
+pub fn finish_telemetry() {
+    match readduo_telemetry::export::finish_to_env() {
+        Ok(Some((trace, metrics))) => {
+            println!("[telemetry] trace   {trace}");
+            println!("[telemetry] metrics {metrics}");
+        }
+        Ok(None) => {}
+        Err(e) => eprintln!("[telemetry] export failed: {e}"),
     }
 }
 

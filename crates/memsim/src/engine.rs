@@ -11,9 +11,10 @@
 use std::collections::VecDeque;
 
 use crate::config::MemoryConfig;
-use crate::device::{DeviceModel, WriteOutcome};
+use crate::device::{DeviceModel, ReadMode, WriteOutcome};
 use crate::sched::EventQueue;
 use crate::stats::SimReport;
+use readduo_telemetry::trace::SimTrace;
 use readduo_trace::{OpKind, OpSource, Trace, TraceCursor};
 
 /// Origin of a queued write job (for energy/lifetime attribution).
@@ -74,6 +75,44 @@ pub struct Simulator {
     config: MemoryConfig,
 }
 
+/// Per-run telemetry state: the sim-time trace plus per-bank counter
+/// track names, precomputed so the hot loop never formats. `None` (the
+/// default) costs one branch per emission site.
+struct Tel {
+    trace: SimTrace,
+    queue_names: Vec<String>,
+}
+
+impl Tel {
+    fn begin(cfg: &MemoryConfig, cores: usize) -> Option<Tel> {
+        let mut trace = SimTrace::begin("memsim")?;
+        for b in 0..cfg.banks {
+            trace.name_track(b as u32, format!("bank {b}"));
+        }
+        for c in 0..cores {
+            trace.name_track((cfg.banks + c) as u32, format!("core {c}"));
+        }
+        Some(Tel {
+            trace,
+            queue_names: (0..cfg.banks).map(|b| format!("queue.b{b}")).collect(),
+        })
+    }
+
+    /// Samples bank `b`'s write-queue depth on its counter track.
+    fn queue_depth(&mut self, b: usize, now: u64, depth: usize) {
+        let name = self.queue_names[b].clone();
+        self.trace.counter(b as u32, name, now, depth as i64);
+    }
+}
+
+fn mode_name(mode: ReadMode) -> &'static str {
+    match mode {
+        ReadMode::RRead => "R",
+        ReadMode::MRead => "M",
+        ReadMode::RmRead => "RM",
+    }
+}
+
 struct Run<'a, D: DeviceModel + ?Sized, S: OpSource> {
     cfg: MemoryConfig,
     device: &'a mut D,
@@ -86,6 +125,8 @@ struct Run<'a, D: DeviceModel + ?Sized, S: OpSource> {
     bus_busy_until: u64,
     report: SimReport,
     scrub_period_ns: Option<u64>,
+    /// Sim-time tracing, `None` unless `READDUO_TELEMETRY` is on.
+    tel: Option<Tel>,
 }
 
 impl Simulator {
@@ -135,6 +176,7 @@ impl Simulator {
             source.cores(),
             self.config.cores
         );
+        let tel = Tel::begin(&self.config, source.cores());
         let run = Run {
             cfg: self.config,
             device,
@@ -145,6 +187,7 @@ impl Simulator {
             bus_busy_until: 0,
             report: SimReport::default(),
             scrub_period_ns: None,
+            tel,
         };
         run.execute()
     }
@@ -225,6 +268,10 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                             bank.queue.push_front(job);
                             bank.busy_until = now + self.cfg.cancel_penalty_ns;
                             self.report.write_cancellations += 1;
+                            if let Some(tel) = &mut self.tel {
+                                tel.trace.instant(b as u32, "write-cancel", now);
+                                tel.queue_depth(b, now, self.banks[b].queue.len());
+                            }
                         }
                     }
                 }
@@ -239,7 +286,18 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                 self.report.reads += 1;
                 self.report.record_read_mode(out.mode);
                 self.report.read_latency.record(done - now);
-                if out.mode == crate::device::ReadMode::RmRead {
+                if let Some(tel) = &mut self.tel {
+                    // Bank occupancy span named by read mode, plus the
+                    // core-visible latency (queueing included) on the
+                    // core's own track.
+                    tel.trace.span(b as u32, mode_name(out.mode), start, done);
+                    tel.trace
+                        .span((self.cfg.banks + core) as u32, "read", now, done);
+                    if out.mode == ReadMode::RmRead {
+                        tel.trace.instant(b as u32, "escalation", array_done);
+                    }
+                }
+                if out.mode == ReadMode::RmRead {
                     // Escalated reads get their own tail summary: the
                     // retry path is the latency cost fault injection (and
                     // ReadDuo's banded escalation) adds over plain R-reads.
@@ -268,6 +326,10 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                         outcome: cw,
                         source: WriteSource::Conversion,
                     });
+                    if let Some(tel) = &mut self.tel {
+                        tel.trace.instant(b as u32, "conversion", done);
+                        tel.queue_depth(b, done, self.banks[b].queue.len());
+                    }
                 }
                 if let Some(cw) = out.corrective {
                     self.report.corrective_rewrites += 1;
@@ -285,6 +347,10 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                         outcome: cw,
                         source: WriteSource::Corrective,
                     });
+                    if let Some(tel) = &mut self.tel {
+                        tel.trace.instant(b as u32, "corrective-rewrite", done);
+                        tel.queue_depth(b, done, self.banks[b].queue.len());
+                    }
                 }
                 self.schedule_kick(b, done);
                 self.advance_core(core, op.icount, done)
@@ -294,6 +360,9 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                     // Stall: retry when the bank drains a slot.
                     self.banks[b].waiters.push_back(core);
                     let retry = self.banks[b].busy_until.max(now + 1);
+                    if let Some(tel) = &mut self.tel {
+                        tel.trace.instant(b as u32, "write-stall", now);
+                    }
                     self.schedule_kick(b, retry);
                     // Do NOT advance the cursor; the core reissues this op
                     // when woken (via CoreIssue pushed by bank_kick).
@@ -308,6 +377,9 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                     outcome: out,
                     source: WriteSource::Demand,
                 });
+                if let Some(tel) = &mut self.tel {
+                    tel.queue_depth(b, now, self.banks[b].queue.len());
+                }
                 self.schedule_kick_or_run(b, now.max(self.banks[b].busy_until), now);
                 // Posted write: the core moves on immediately.
                 self.advance_core(core, op.icount, now)
@@ -389,6 +461,15 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
             let done = start + self.cfg.bus_ns + job.outcome.latency_ns;
             self.banks[b].busy_until = done;
             self.banks[b].executing_write = Some(job);
+            if let Some(tel) = &mut self.tel {
+                let name = match job.source {
+                    WriteSource::Demand => "write",
+                    WriteSource::Conversion => "conv-write",
+                    WriteSource::Corrective => "fix-write",
+                };
+                tel.trace.span(b as u32, name, start, done);
+                tel.queue_depth(b, now, self.banks[b].queue.len());
+            }
             match job.source {
                 WriteSource::Demand => {}
                 WriteSource::Conversion => {
@@ -419,6 +500,9 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
             // a whole interval later — a reliability debt the paper's W=0
             // Scrubbing configuration is precisely criticised for).
             self.report.scrubs_skipped += 1;
+            if let Some(tel) = &mut self.tel {
+                tel.trace.instant(b as u32, "scrub-skip", now);
+            }
             return;
         }
         let local = self.banks[b].scrub_ptr;
@@ -438,6 +522,10 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
         }
         self.banks[b].busy_until = start + dur;
         self.banks[b].executing_write = None;
+        if let Some(tel) = &mut self.tel {
+            let name = if out.rewrite.is_some() { "scrub+rewrite" } else { "scrub" };
+            tel.trace.span(b as u32, name, start, start + dur);
+        }
     }
 }
 
@@ -794,6 +882,35 @@ mod tests {
         assert!(rep.scrubs > 0, "later ticks must still scrub");
         // Forced rewrites on every serviced visit keep accounting in sync.
         assert_eq!(rep.scrub_rewrites, rep.scrubs);
+    }
+
+    #[test]
+    fn telemetry_trace_captures_bank_activity() {
+        // Writes (bank spans + queue counters), escalated reads
+        // (mode spans + escalation instants + conversions): the drained
+        // trace must validate and carry all of them. Tracing never feeds
+        // back into the report, so enabling it mid-process is safe even
+        // with other tests running.
+        readduo_telemetry::set_enabled(true);
+        readduo_telemetry::trace::set_run_label("test/engine");
+        let mut t = Trace::new("t", 1);
+        t.push(0, write(1000, 0));
+        t.push(0, read(2000, 0));
+        t.push(0, read(100_000, 1));
+        let rep = Simulator::new(cfg()).run(&t, &mut ConvertingDevice);
+        readduo_telemetry::set_enabled(false);
+        let json = readduo_telemetry::export::render_trace();
+        let stats = readduo_telemetry::check::validate_chrome_trace(&json)
+            .expect("engine trace must validate");
+        assert_eq!(rep.reads, 2);
+        assert!(stats.spans >= 3, "bank write span + RM read spans: {stats:?}");
+        assert!(stats.counters >= 1, "queue-depth samples: {stats:?}");
+        assert!(stats.names.contains("escalation"));
+        assert!(stats.names.contains("conversion"));
+        assert!(stats.names.contains("RM"));
+        assert!(stats.process_names.iter().any(|n| n == "test/engine"));
+        assert!(stats.thread_names.iter().any(|n| n == "bank 0"));
+        assert!(stats.thread_names.iter().any(|n| n == "core 0"));
     }
 
     #[test]

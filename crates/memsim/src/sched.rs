@@ -216,6 +216,41 @@ mod tests {
         assert!(q.next_is_after(now), "only strictly later events remain");
     }
 
+    /// Events exactly at and just past the wheel horizon (256 × 4096 ns)
+    /// sit on the wheel/overflow boundary; they must still pop in exact
+    /// `(at, seq)` order, both against the initial horizon and against the
+    /// moving horizon after the window has advanced.
+    #[test]
+    fn wheel_horizon_boundary_pops_in_exact_order() {
+        let h = BUCKET_WIDTH_NS * BUCKETS as u64; // 1 048 576 ns
+        let mut q = EventQueue::new();
+        q.push(h, 10u32); // first event at the horizon: overflow tier
+        q.push(h - 1, 11); // last wheel bucket
+        q.push(h + 1, 12); // strictly past the horizon
+        q.push(h, 13); // same time as 10: FIFO by insertion seq
+        q.push(0, 14); // current window
+        assert_eq!(q.pop(), Some((0, 14)));
+        assert_eq!(q.pop(), Some((h - 1, 11)));
+        assert_eq!(q.pop(), Some((h, 10)));
+        assert_eq!(q.pop(), Some((h, 13)));
+        assert_eq!(q.pop(), Some((h + 1, 12)));
+        assert_eq!(q.pop(), None);
+        // The window has advanced past h; the horizon the next pushes see
+        // is `bucket_start + h`. Straddle it again.
+        let start = h + 1 - ((h + 1) % BUCKET_WIDTH_NS); // current window base
+        let h2 = start + h;
+        q.push(h2 + 1, 20);
+        q.push(h2, 21);
+        q.push(h2 - 1, 22);
+        q.push(h2, 23);
+        assert_eq!(q.pop(), Some((h2 - 1, 22)));
+        assert_eq!(q.pop(), Some((h2, 21)));
+        assert_eq!(q.pop(), Some((h2, 23)));
+        assert_eq!(q.pop(), Some((h2 + 1, 20)));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.len(), 0);
+    }
+
     #[test]
     fn empty_queue_next_is_after_everything() {
         let q: EventQueue<u8> = EventQueue::new();

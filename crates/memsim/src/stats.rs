@@ -1,13 +1,19 @@
 //! Simulation statistics.
 
 use crate::device::ReadMode;
+use readduo_telemetry::Log2Histogram;
 
-/// Streaming latency summary (count / mean / max) without storing samples.
+/// Streaming latency summary (count / mean / max / percentiles) without
+/// storing samples: exact count, sum, and max, plus a log2-bucketed
+/// histogram for the tail. Recording is unconditional — the histogram is
+/// plain `Copy` data and a few instructions per observation — so reports
+/// stay bit-for-bit identical whether telemetry is on or off.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencySummary {
     count: u64,
     sum_ns: u128,
     max_ns: u64,
+    hist: Log2Histogram,
 }
 
 impl LatencySummary {
@@ -16,6 +22,7 @@ impl LatencySummary {
         self.count += 1;
         self.sum_ns += ns as u128;
         self.max_ns = self.max_ns.max(ns);
+        self.hist.record(ns);
     }
 
     /// Number of observations.
@@ -35,6 +42,28 @@ impl LatencySummary {
     /// Maximum latency in ns.
     pub fn max_ns(&self) -> u64 {
         self.max_ns
+    }
+
+    /// Median latency in ns, as a log2-bucket upper bound (an overestimate
+    /// of the true percentile by at most 2×; see [`Log2Histogram`]).
+    pub fn p50_ns(&self) -> u64 {
+        self.hist.p50()
+    }
+
+    /// 95th-percentile latency in ns (bucketed; see [`p50_ns`](Self::p50_ns)).
+    pub fn p95_ns(&self) -> u64 {
+        self.hist.p95()
+    }
+
+    /// 99th-percentile latency in ns (bucketed; see [`p50_ns`](Self::p50_ns)).
+    pub fn p99_ns(&self) -> u64 {
+        self.hist.p99()
+    }
+
+    /// The underlying log2 histogram, for publishing into the telemetry
+    /// metrics registry without re-recording every observation.
+    pub fn histogram(&self) -> &Log2Histogram {
+        &self.hist
     }
 }
 
@@ -159,6 +188,26 @@ mod tests {
         assert!((s.mean_ns() - 200.0).abs() < 1e-12);
         assert_eq!(s.max_ns(), 300);
         assert_eq!(LatencySummary::default().mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn latency_summary_percentiles_come_from_the_log2_histogram() {
+        let mut s = LatencySummary::default();
+        // 99 fast reads (158 ns, bucket upper 255) and one escalated read
+        // (608 ns, bucket upper 1023): the tail shows only at p99+.
+        for _ in 0..99 {
+            s.record(158);
+        }
+        s.record(608);
+        assert_eq!(s.p50_ns(), 255);
+        assert_eq!(s.p95_ns(), 255);
+        assert_eq!(s.p99_ns(), 255);
+        assert_eq!(s.histogram().p999(), 1023);
+        assert_eq!(s.histogram().count(), s.count());
+        // Empty summaries report zero percentiles.
+        let empty = LatencySummary::default();
+        assert_eq!(empty.p50_ns(), 0);
+        assert_eq!(empty.p99_ns(), 0);
     }
 
     #[test]

@@ -99,7 +99,12 @@ impl Pool {
             return items
                 .into_iter()
                 .enumerate()
-                .map(|(i, item)| f(i, item))
+                .map(|(i, item)| {
+                    let _task = readduo_telemetry::trace::phase("pool.task");
+                    let out = f(i, item);
+                    readduo_telemetry::metrics::counter_add("pool.tasks", 1);
+                    out
+                })
                 .collect();
         }
         // Hand items to workers through per-slot mutexes: the atomic cursor
@@ -111,24 +116,34 @@ impl Pool {
         let (tx, rx) = mpsc::channel::<(usize, T)>();
         let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
         std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(n) {
+            for w in 0..self.workers.min(n) {
                 let tx = tx.clone();
                 let slots = &slots;
                 let cursor = &cursor;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = slots[i]
-                        .lock()
-                        .expect("task slot poisoned")
-                        .take()
-                        .expect("task slot claimed twice");
-                    // If the receiver is gone the run is unwinding; stop.
-                    if tx.send((i, f(i, item))).is_err() {
-                        break;
+                scope.spawn(move || {
+                    // Each worker owns one wall-clock telemetry track; the
+                    // per-task spans on it visualise pool utilisation (gaps
+                    // = idle workers). All of this is a no-op by default.
+                    readduo_telemetry::trace::name_this_thread(&format!("worker-{w}"));
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .expect("task slot poisoned")
+                            .take()
+                            .expect("task slot claimed twice");
+                        let task = readduo_telemetry::trace::phase("pool.task");
+                        let result = f(i, item);
+                        drop(task);
+                        readduo_telemetry::metrics::counter_add("pool.tasks", 1);
+                        // If the receiver is gone the run is unwinding; stop.
+                        if tx.send((i, result)).is_err() {
+                            break;
+                        }
                     }
                 });
             }

@@ -1,0 +1,407 @@
+//! In-tree validation of exported JSON.
+//!
+//! The workspace is offline and dependency-free, so CI cannot shell out
+//! to `jq` or pull a JSON crate to check that [`crate::export`] produced
+//! something Perfetto will load. This module carries a small
+//! recursive-descent JSON parser (strings, numbers, bools, null, arrays,
+//! objects — the whole grammar, none of the extensions) plus a
+//! structural validator for the Chrome trace-event schema we emit.
+
+use std::collections::BTreeSet;
+use std::str::Chars;
+
+/// A parsed JSON value. Objects keep insertion order (duplicate keys:
+/// last lookup wins via [`Json::get`] scanning forward).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`, which covers every value we emit).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: Chars<'a>,
+    /// One-character lookahead.
+    peeked: Option<char>,
+    /// Consumed character count, for error positions.
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { chars: s.chars(), peeked: None, pos: 0 }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        self.peeked = None;
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("JSON error at char {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(self.err(&format!("expected '{want}', got {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogates are unrepresentable as char; the
+                        // exporter never emits them, so reject.
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("surrogate \\u escape"))?,
+                        );
+                    }
+                    other => return Err(self.err(&format!("bad escape {other:?}"))),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let mut text = String::new();
+        if self.peek() == Some('-') {
+            text.push(self.next().unwrap());
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || "+-.eE".contains(c)) {
+            text.push(self.next().unwrap());
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number {text:?}")))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some('n') => self.literal("null", Json::Null),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('[') => {
+                self.next();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.next();
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(',') => {}
+                        Some(']') => return Ok(Json::Arr(items)),
+                        other => return Err(self.err(&format!("expected ',' or ']', got {other:?}"))),
+                    }
+                }
+            }
+            Some('{') => {
+                self.next();
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.next();
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.next() {
+                        Some(',') => {}
+                        Some('}') => return Ok(Json::Obj(fields)),
+                        other => return Err(self.err(&format!("expected ',' or '}}', got {other:?}"))),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+}
+
+/// Parses a complete JSON document (rejecting trailing garbage).
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if let Some(c) = p.peek() {
+        return Err(p.err(&format!("trailing garbage starting with {c:?}")));
+    }
+    Ok(v)
+}
+
+/// What a validated trace contained — the acceptance checks key off this.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total events, metadata included.
+    pub events: usize,
+    /// `"ph": "X"` complete spans.
+    pub spans: usize,
+    /// `"ph": "i"` instants.
+    pub instants: usize,
+    /// `"ph": "C"` counter samples.
+    pub counters: usize,
+    /// `"ph": "M"` metadata records.
+    pub metas: usize,
+    /// Distinct non-metadata event names.
+    pub names: BTreeSet<String>,
+    /// Track labels from `thread_name` metadata.
+    pub thread_names: Vec<String>,
+    /// Process labels from `process_name` metadata.
+    pub process_names: Vec<String>,
+    /// Dropped-event count reported by the exporter.
+    pub dropped: u64,
+}
+
+fn field_num(e: &Json, key: &str, i: usize) -> Result<f64, String> {
+    e.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("event {i}: missing numeric \"{key}\""))
+}
+
+/// Structurally validates a Chrome trace-event JSON document as emitted
+/// by [`crate::export::render_trace`]: every event must carry `name`,
+/// `ph`, `pid`, `tid`, plus the per-phase required fields.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceStats, String> {
+    let doc = parse_json(json)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("top level must be an object with a \"traceEvents\" array")?;
+    let mut stats = TraceStats {
+        dropped: doc
+            .get("otherData")
+            .and_then(|o| o.get("dropped_events"))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0) as u64,
+        ..TraceStats::default()
+    };
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string \"name\""))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string \"ph\""))?;
+        field_num(e, "pid", i)?;
+        field_num(e, "tid", i)?;
+        stats.events += 1;
+        match ph {
+            "X" => {
+                field_num(e, "ts", i)?;
+                let dur = field_num(e, "dur", i)?;
+                if dur < 0.0 {
+                    return Err(format!("event {i}: negative span duration {dur}"));
+                }
+                stats.spans += 1;
+                stats.names.insert(name.to_string());
+            }
+            "i" => {
+                field_num(e, "ts", i)?;
+                if e.get("s").and_then(Json::as_str).is_none() {
+                    return Err(format!("event {i}: instant without a scope \"s\""));
+                }
+                stats.instants += 1;
+                stats.names.insert(name.to_string());
+            }
+            "C" => {
+                field_num(e, "ts", i)?;
+                e.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("event {i}: counter without args.value"))?;
+                stats.counters += 1;
+                stats.names.insert(name.to_string());
+            }
+            "M" => {
+                let label = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: metadata without args.name"))?;
+                match name {
+                    "thread_name" => stats.thread_names.push(label.to_string()),
+                    "process_name" => stats.process_names.push(label.to_string()),
+                    other => return Err(format!("event {i}: unknown metadata \"{other}\"")),
+                }
+                stats.metas += 1;
+            }
+            other => return Err(format!("event {i}: unknown phase \"{other}\"")),
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_and_objects() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(
+            parse_json("\"a\\n\\u0041\"").unwrap(),
+            Json::Str("a\nA".into())
+        );
+        let v = parse_json("{\"a\": [1, 2], \"b\": {\"c\": false}}").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2") .is_err());
+        assert!(parse_json("true false").is_err(), "trailing garbage");
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("nul").is_err());
+    }
+
+    #[test]
+    fn validates_a_handwritten_trace() {
+        let json = r#"{
+          "traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "mcf/Hybrid"}},
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 3,
+             "args": {"name": "bank 3"}},
+            {"name": "M", "ph": "X", "pid": 1, "tid": 3, "ts": 1.000, "dur": 0.608},
+            {"name": "escalation", "ph": "i", "s": "t", "pid": 1, "tid": 3, "ts": 1.608},
+            {"name": "queue.b3", "ph": "C", "pid": 1, "tid": 3, "ts": 1.7,
+             "args": {"value": 2}}
+          ],
+          "otherData": {"dropped_events": 5}
+        }"#;
+        let stats = validate_chrome_trace(json).unwrap();
+        assert_eq!(stats.events, 5);
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.metas, 2);
+        assert_eq!(stats.dropped, 5);
+        assert!(stats.names.contains("escalation"));
+        assert_eq!(stats.thread_names, vec!["bank 3".to_string()]);
+        assert_eq!(stats.process_names, vec!["mcf/Hybrid".to_string()]);
+    }
+
+    #[test]
+    fn rejects_structurally_broken_traces() {
+        assert!(validate_chrome_trace("[1, 2]").is_err(), "no traceEvents");
+        let missing_dur = r#"{"traceEvents": [
+            {"name": "R", "ph": "X", "pid": 1, "tid": 0, "ts": 1.0}]}"#;
+        assert!(validate_chrome_trace(missing_dur).is_err());
+        let bad_ph = r#"{"traceEvents": [
+            {"name": "R", "ph": "Z", "pid": 1, "tid": 0, "ts": 1.0}]}"#;
+        assert!(validate_chrome_trace(bad_ph).is_err());
+        let bare_counter = r#"{"traceEvents": [
+            {"name": "q", "ph": "C", "pid": 1, "tid": 0, "ts": 1.0}]}"#;
+        assert!(validate_chrome_trace(bare_counter).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! A log2-bucketed histogram with percentile accessors.
+//!
+//! Latencies in the simulator span 150 ns (a clean R-read) to hundreds of
+//! microseconds (a read stuck behind a scrub rewrite and a full write
+//! queue), so fixed-width buckets either blur the fast path or truncate
+//! the tail. Power-of-two buckets cover the whole `u64` range in 65 slots
+//! with a worst-case quantile overestimate of 2× — plenty for "did the
+//! retry tail move", which is the question the paper's Figure 4 asks —
+//! and recording is a handful of instructions (leading-zeros + one
+//! increment), cheap enough to live unconditionally inside
+//! `LatencySummary`.
+
+/// Number of buckets: values of bit length `0..=64`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2 histogram over `u64` values.
+///
+/// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. Plain data — `Copy`, comparable, mergeable — so
+/// it can sit inside `SimReport` without disturbing the determinism
+/// suites' exact equality checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self { counts: [0; BUCKETS], total: 0 }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index of `v`: its bit length.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= BUCKETS`.
+    pub fn bucket_upper(i: usize) -> u64 {
+        assert!(i < BUCKETS, "bucket {i} out of range");
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bucket counts (index = bit length of the value).
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the inclusive upper bound of the
+    /// nearest-rank bucket — an overestimate of the true quantile by at
+    /// most 2×. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile {q} outside (0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(BUCKETS - 1)
+    }
+
+    /// Median (see [`quantile`](Self::quantile) for bucket semantics).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_upper(0), 0);
+        assert_eq!(Log2Histogram::bucket_upper(1), 1);
+        assert_eq!(Log2Histogram::bucket_upper(2), 3);
+        assert_eq!(Log2Histogram::bucket_upper(64), u64::MAX);
+        // Every value lands in the bucket whose range contains it.
+        for v in [0u64, 1, 2, 3, 150, 158, 600, 1 << 40, u64::MAX] {
+            let i = Log2Histogram::bucket_of(v);
+            assert!(v <= Log2Histogram::bucket_upper(i));
+            if i > 0 {
+                assert!(v > Log2Histogram::bucket_upper(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Log2Histogram::new();
+        // 99 fast reads at 158 ns, one escalated read at 608 ns.
+        for _ in 0..99 {
+            h.record(158);
+        }
+        h.record(608);
+        assert_eq!(h.count(), 100);
+        // 158 has bit length 8 → bucket upper 255; 608 → 1023.
+        assert_eq!(h.p50(), 255);
+        assert_eq!(h.p95(), 255);
+        assert_eq!(h.p99(), 255);
+        assert_eq!(h.quantile(1.0), 1023);
+        // The tail observation dominates p999 once it is > 0.1% of mass.
+        assert_eq!(h.p999(), 1023);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(100_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        let mut c = Log2Histogram::new();
+        c.record(10);
+        c.record(10);
+        c.record(100_000);
+        assert_eq!(a, c, "merge must equal recording the union");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_quantile_rejected() {
+        let _ = Log2Histogram::new().quantile(0.0);
+    }
+}

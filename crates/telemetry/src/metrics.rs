@@ -1,0 +1,274 @@
+//! A sharded process-wide metrics registry.
+//!
+//! Writes land in a **per-thread shard** (a plain `thread_local!` map, no
+//! locking, no atomics), so the sweep pool's workers instrument their hot
+//! loops without ever contending. Shards merge into the global registry
+//! in exactly two places: when their thread exits (the thread-local's
+//! destructor) and when the owning thread takes a [`snapshot`]. The
+//! visibility contract follows from that: a snapshot sees the global
+//! registry — every *finished* thread plus the calling thread — which is
+//! precisely what the bench binaries need, since they snapshot on the
+//! main thread after the pool's scoped workers have joined.
+//!
+//! All entry points are no-ops while telemetry is disabled, so the
+//! instrumented code paths cost a load-and-branch in the default
+//! configuration.
+
+use crate::hist::Log2Histogram;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// One metric value.
+///
+/// The histogram variant dominates the enum's size (its 65 buckets live
+/// inline), but registries hold tens of entries, not millions — inline
+/// beats boxing every `record` on the hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A last-write-wins instantaneous value.
+    Gauge(f64),
+    /// A log2-bucketed distribution.
+    Histogram(Log2Histogram),
+}
+
+/// Name → metric map; the snapshot type. Ordered so JSON output and test
+/// assertions are stable.
+pub type MetricsMap = BTreeMap<String, Metric>;
+
+fn global() -> &'static Mutex<MetricsMap> {
+    static GLOBAL: OnceLock<Mutex<MetricsMap>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(MetricsMap::new()))
+}
+
+/// The thread-local shard; its destructor folds the thread's metrics into
+/// the global registry when the thread exits.
+struct Shard {
+    map: MetricsMap,
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        if !self.map.is_empty() {
+            merge_into_global(std::mem::take(&mut self.map));
+        }
+    }
+}
+
+thread_local! {
+    static SHARD: RefCell<Shard> = const { RefCell::new(Shard { map: MetricsMap::new() }) };
+}
+
+fn merge_into_global(map: MetricsMap) {
+    let mut g = global().lock().expect("metrics registry poisoned");
+    for (name, m) in map {
+        merge_one(&mut g, name, m);
+    }
+}
+
+/// Folds `m` into `dst[name]`: counters add, histograms merge, gauges (and
+/// any kind mismatch — a programming error, resolved predictably) take the
+/// newest value.
+fn merge_one(dst: &mut MetricsMap, name: String, m: Metric) {
+    match (dst.get_mut(&name), m) {
+        (Some(Metric::Counter(a)), Metric::Counter(b)) => *a += b,
+        (Some(Metric::Histogram(a)), Metric::Histogram(b)) => a.merge(&b),
+        (slot, m) => {
+            let _ = slot;
+            dst.insert(name, m);
+        }
+    }
+}
+
+/// Adds `n` to the counter `name`.
+pub fn counter_add(name: &str, n: u64) {
+    if !crate::enabled() || n == 0 {
+        return;
+    }
+    SHARD.with(|s| {
+        let map = &mut s.borrow_mut().map;
+        match map.get_mut(name) {
+            Some(Metric::Counter(c)) => *c += n,
+            _ => {
+                map.insert(name.to_string(), Metric::Counter(n));
+            }
+        }
+    });
+}
+
+/// Sets the gauge `name` to `v` (last write wins across shards).
+pub fn gauge_set(name: &str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    SHARD.with(|s| {
+        s.borrow_mut().map.insert(name.to_string(), Metric::Gauge(v));
+    });
+}
+
+/// Records `v` into the histogram `name`.
+pub fn hist_record(name: &str, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    SHARD.with(|s| {
+        let map = &mut s.borrow_mut().map;
+        match map.get_mut(name) {
+            Some(Metric::Histogram(h)) => h.record(v),
+            _ => {
+                let mut h = Log2Histogram::new();
+                h.record(v);
+                map.insert(name.to_string(), Metric::Histogram(h));
+            }
+        }
+    });
+}
+
+/// Merges an already-aggregated histogram into `name` — the cheap way to
+/// publish a whole `SimReport` latency distribution in one call instead
+/// of re-recording every observation.
+pub fn hist_merge(name: &str, h: &Log2Histogram) {
+    if !crate::enabled() || h.count() == 0 {
+        return;
+    }
+    SHARD.with(|s| {
+        let map = &mut s.borrow_mut().map;
+        match map.get_mut(name) {
+            Some(Metric::Histogram(dst)) => dst.merge(h),
+            _ => {
+                map.insert(name.to_string(), Metric::Histogram(*h));
+            }
+        }
+    });
+}
+
+/// Flushes the calling thread's shard and returns a copy of the global
+/// registry: every finished thread plus the caller.
+pub fn snapshot() -> MetricsMap {
+    SHARD.with(|s| {
+        let map = std::mem::take(&mut s.borrow_mut().map);
+        if !map.is_empty() {
+            merge_into_global(map);
+        }
+    });
+    global().lock().expect("metrics registry poisoned").clone()
+}
+
+/// Clears the registry and the calling thread's shard (tests).
+pub fn reset() {
+    SHARD.with(|s| s.borrow_mut().map.clear());
+    global().lock().expect("metrics registry poisoned").clear();
+}
+
+/// Serialises a snapshot as a JSON document (schema
+/// `readduo-metrics-v1`). Histograms carry their count, p50/p95/p99/p999,
+/// and the non-empty `[bucket_upper, count]` pairs.
+pub fn to_json(map: &MetricsMap) -> String {
+    let mut out = String::from("{\n  \"schema\": \"readduo-metrics-v1\",\n  \"metrics\": {\n");
+    for (i, (name, m)) in map.iter().enumerate() {
+        let comma = if i + 1 < map.len() { "," } else { "" };
+        let body = match m {
+            Metric::Counter(c) => format!("{{\"type\": \"counter\", \"value\": {c}}}"),
+            Metric::Gauge(g) => format!("{{\"type\": \"gauge\", \"value\": {g:?}}}"),
+            Metric::Histogram(h) => {
+                let buckets: Vec<String> = h
+                    .bucket_counts()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(b, &c)| format!("[{}, {}]", Log2Histogram::bucket_upper(b), c))
+                    .collect();
+                format!(
+                    "{{\"type\": \"histogram\", \"count\": {}, \"p50\": {}, \"p95\": {}, \
+                     \"p99\": {}, \"p999\": {}, \"buckets\": [{}]}}",
+                    h.count(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    h.p999(),
+                    buckets.join(", ")
+                )
+            }
+        };
+        out.push_str(&format!("    {}: {body}{comma}\n", crate::export::json_string(name)));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and the test harness is threaded, so
+    // every test below uses its own metric names; `reset` is only called
+    // from this one serial test to keep interference structured.
+    #[test]
+    fn disabled_mode_is_a_no_op() {
+        crate::set_enabled(false);
+        counter_add("t.disabled.counter", 5);
+        hist_record("t.disabled.hist", 42);
+        gauge_set("t.disabled.gauge", 1.0);
+        let snap = snapshot();
+        assert!(!snap.contains_key("t.disabled.counter"));
+        assert!(!snap.contains_key("t.disabled.hist"));
+        assert!(!snap.contains_key("t.disabled.gauge"));
+    }
+
+    #[test]
+    fn counters_histograms_and_gauges_aggregate() {
+        crate::set_enabled(true);
+        counter_add("t.agg.reads", 2);
+        counter_add("t.agg.reads", 3);
+        let mut h = Log2Histogram::new();
+        h.record(158);
+        h.record(608);
+        hist_merge("t.agg.lat", &h);
+        hist_record("t.agg.lat", 158);
+        gauge_set("t.agg.rss", 12.5);
+        let snap = snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.get("t.agg.reads"), Some(&Metric::Counter(5)));
+        match snap.get("t.agg.lat") {
+            Some(Metric::Histogram(h)) => assert_eq!(h.count(), 3),
+            other => panic!("wrong metric: {other:?}"),
+        }
+        assert_eq!(snap.get("t.agg.rss"), Some(&Metric::Gauge(12.5)));
+    }
+
+    #[test]
+    fn worker_thread_shards_merge_on_exit() {
+        crate::set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| counter_add("t.shard.tasks", 1));
+            }
+        });
+        let snap = snapshot();
+        crate::set_enabled(false);
+        match snap.get("t.shard.tasks") {
+            Some(Metric::Counter(n)) => assert!(*n >= 4, "lost shard updates: {n}"),
+            other => panic!("wrong metric: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        let mut map = MetricsMap::new();
+        map.insert("a.count".into(), Metric::Counter(7));
+        let mut h = Log2Histogram::new();
+        h.record(600);
+        map.insert("b.lat_ns".into(), Metric::Histogram(h));
+        map.insert("c.gauge".into(), Metric::Gauge(0.5));
+        let j = to_json(&map);
+        assert!(j.contains("\"readduo-metrics-v1\""));
+        assert!(j.contains("\"a.count\": {\"type\": \"counter\", \"value\": 7}"));
+        assert!(j.contains("\"p99\": 1023"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // The in-tree JSON parser must accept its own sibling's output.
+        crate::check::parse_json(&j).expect("metrics JSON parses");
+    }
+}
