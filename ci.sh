@@ -68,6 +68,34 @@ READDUO_TELEMETRY=1 READDUO_TRACE_CAP=100000 READDUO_INSTR=50000 \
     --require read --require scrub --require escalation \
     --require-hist sim.read_latency_ns
 
+# Sharding gate, two directions. (1) Determinism across pool widths: the
+# 8-channel fig9 smoke run with the channel fan-out pinned to one worker
+# and then to four must write byte-identical CSV artifacts — the pool
+# width may only choose the wall clock, never the physics. (2) Telemetry
+# on a multi-channel run must emit the per-channel tracks (c0.bank 0,
+# c1.bank 0, …) the sharded engine promises.
+echo "==> sharding gate (8-channel fig9 smoke, READDUO_THREADS=1 vs =4, budget 180 s)"
+start=$(date +%s)
+READDUO_INSTR=50000 READDUO_THREADS=1 ./target/release/fig9 --channels 8 >/dev/null
+cp target/experiments/fig9.csv target/experiments/fig9-8ch-t1.csv
+READDUO_INSTR=50000 READDUO_THREADS=4 ./target/release/fig9 --channels 8 >/dev/null
+elapsed=$(( $(date +%s) - start ))
+echo "    sharded smokes took ${elapsed}s"
+if ! cmp -s target/experiments/fig9-8ch-t1.csv target/experiments/fig9.csv; then
+    echo "    FAIL: 8-channel fig9 CSV differs across thread counts" >&2
+    exit 1
+fi
+if [ "$elapsed" -gt 180 ]; then
+    echo "    FAIL: sharded smokes exceeded the 180 s budget" >&2
+    exit 1
+fi
+strace="target/experiments/ci-shard-trace.json"
+READDUO_TELEMETRY=1 READDUO_TRACE_CAP=100000 READDUO_INSTR=20000 \
+    READDUO_CHANNELS=2 READDUO_TRACE_OUT="$strace" \
+    ./target/release/fig9 >/dev/null
+./target/release/trace_check "$strace" \
+    --require-track "c0.bank 0" --require-track "c1.bank 0"
+
 # Seeded fault-injection smoke: the Monte-Carlo cross-validation binary
 # asserts empirical line-error rates stay within confidence bounds of the
 # analytic model and that the full R-fail → M-retry → ECC-correct →

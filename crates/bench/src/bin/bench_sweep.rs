@@ -5,10 +5,16 @@
 //! `sweep` microbench group, and writes the whole record to
 //! `BENCH_sweep.json` (run from the repo root).
 //!
+//! The `shard_scale` row times one paper-scale run (10M instructions/core)
+//! over an 8-channel topology with the channel fan-out pinned to one
+//! thread and then to eight, asserting the merged reports are bit-for-bit
+//! identical and recording the measured speedup next to the host's
+//! available parallelism (a single-core container honestly records ~1x).
+//!
 //! `READDUO_INSTR` sets the volume (default one million instructions per
 //! core — the acceptance configuration); `READDUO_THREADS` sets the
 //! parallel pool width; `READDUO_BENCH_SKIP_10M=1` skips the paper-scale
-//! row.
+//! and shard-scale rows.
 
 use readduo_bench::micro::Micro;
 use readduo_bench::{finish_telemetry, handle_help, peak_rss_bytes, Harness};
@@ -104,6 +110,54 @@ fn main() {
         (ms, rss_mb)
     };
 
+    // Sharded-topology scaling row: one paper-scale run (10M instructions
+    // per core, 8 channels) with the channel fan-out pinned to one worker
+    // and then to eight. The merged reports must be bit-for-bit identical
+    // — the pool width only chooses the wall clock — and the speedup is
+    // recorded next to the host's parallelism so a single-core container
+    // reads as "no parallelism available" rather than as a regression.
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (shard_t1_ms, shard_t8_ms) = if skip_10m {
+        eprintln!("skipping shard_scale (READDUO_BENCH_SKIP_10M=1)");
+        (-1.0, -1.0)
+    } else {
+        let h8 = Harness {
+            instructions_per_core: 10_000_000,
+            memory: h.memory.with_channels(8),
+            ..h
+        };
+        let w = workloads
+            .iter()
+            .find(|w| w.name == "mcf")
+            .expect("spec2006 includes mcf");
+        let scheme = SchemeKind::Lwt { k: 4 };
+        eprintln!(
+            "timing shard_scale: {scheme} on {} at 10M instr/core over 8 channels …",
+            w.name
+        );
+        let t = Instant::now();
+        let r1 = h8.run_streamed_on(&Pool::new(1), w, scheme);
+        let t1 = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let r8 = h8.run_streamed_on(&Pool::new(8), w, scheme);
+        let t8 = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            r1.report, r8.report,
+            "sharded run diverged across pool widths"
+        );
+        eprintln!(
+            "shard_scale: threads=1 {t1:.0} ms, threads=8 {t8:.0} ms \
+             ({:.2}x on a host with parallelism {host_parallelism}) — reports identical",
+            t1 / t8
+        );
+        (t1, t8)
+    };
+    let shard_speedup = if shard_t1_ms > 0.0 && shard_t8_ms > 0.0 {
+        shard_t1_ms / shard_t8_ms
+    } else {
+        -1.0
+    };
+
     // The `sweep` microbench group on the tiny matrix (fast, stable).
     let mut m = Micro::new();
     {
@@ -141,7 +195,7 @@ fn main() {
         .join("\n");
 
     let json = format!(
-        "{{\n  \"schema\": \"readduo-bench-sweep-v2\",\n  \"generated_by\": \"cargo run --release -p readduo-bench --bin bench_sweep\",\n  \"instructions_per_core\": {instr},\n  \"parallel_threads\": {threads},\n  \"fig9_matrix\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"baseline_pr1_sequential_ms\": {base:.0},\n    \"baseline_pr2_sequential_warm_ms\": {base2:.0},\n    \"sequential_cold_ms\": {cold:.0},\n    \"sequential_warm_ms\": {warm:.0},\n    \"parallel_warm_ms\": {par:.0},\n    \"streaming_warm_ms\": {stream:.0},\n    \"speedup_vs_pr1_baseline\": {speedup:.2},\n    \"speedup_vs_pr2_warm_baseline\": {speedup2:.2}\n  }},\n  \"fig9_matrix_10m\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"instructions_per_core\": 10000000,\n    \"streaming_ms\": {ms10:.0},\n    \"peak_rss_mb\": {rss10:.0}\n  }},\n  \"parallel_equals_sequential\": {identical},\n  \"streaming_equals_sequential\": {identical},\n  \"micro\": {micro}\n}}\n",
+        "{{\n  \"schema\": \"readduo-bench-sweep-v3\",\n  \"generated_by\": \"cargo run --release -p readduo-bench --bin bench_sweep\",\n  \"instructions_per_core\": {instr},\n  \"parallel_threads\": {threads},\n  \"fig9_matrix\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"baseline_pr1_sequential_ms\": {base:.0},\n    \"baseline_pr2_sequential_warm_ms\": {base2:.0},\n    \"sequential_cold_ms\": {cold:.0},\n    \"sequential_warm_ms\": {warm:.0},\n    \"parallel_warm_ms\": {par:.0},\n    \"streaming_warm_ms\": {stream:.0},\n    \"speedup_vs_pr1_baseline\": {speedup:.2},\n    \"speedup_vs_pr2_warm_baseline\": {speedup2:.2}\n  }},\n  \"fig9_matrix_10m\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"instructions_per_core\": 10000000,\n    \"streaming_ms\": {ms10:.0},\n    \"peak_rss_mb\": {rss10:.0}\n  }},\n  \"shard_scale\": {{\n    \"channels\": 8,\n    \"instructions_per_core\": 10000000,\n    \"scheme\": \"LWT-4\",\n    \"workload\": \"mcf\",\n    \"threads1_ms\": {st1:.0},\n    \"threads8_ms\": {st8:.0},\n    \"speedup_8t_vs_1t\": {sspd:.2},\n    \"host_parallelism\": {hostp},\n    \"reports_identical\": true\n  }},\n  \"parallel_equals_sequential\": {identical},\n  \"streaming_equals_sequential\": {identical},\n  \"micro\": {micro}\n}}\n",
         instr = h.instructions_per_core,
         threads = threads,
         nschemes = schemes.len(),
@@ -156,6 +210,10 @@ fn main() {
         speedup2 = PR2_SEQUENTIAL_WARM_MS / sequential_warm_ms.min(streaming_warm_ms),
         ms10 = fig9_10m_ms,
         rss10 = fig9_10m_rss_mb,
+        st1 = shard_t1_ms,
+        st8 = shard_t8_ms,
+        sspd = shard_speedup,
+        hostp = host_parallelism,
         identical = identical,
         micro = micro_indented,
     );

@@ -1,5 +1,9 @@
 //! Figure 9 — normalised execution time of the six headline schemes over
 //! the 14 SPEC2006 workloads, plus the read-latency p99 tail per cell.
+//!
+//! `--channels N` overrides the memory topology (equivalent to setting
+//! `READDUO_CHANNELS=N`): with `N > 1` each run shards per channel onto
+//! the worker pool, and the table/CSV reflect the merged reports.
 
 use readduo_bench::{
     finish_telemetry, handle_help, normalized, render_table, result_for, write_csv, Harness,
@@ -12,14 +16,35 @@ fn main() {
         "fig9",
         "Figure 9: normalised execution time of the headline schemes over SPEC2006",
     );
-    let harness = Harness::from_env();
+    let mut harness = Harness::from_env();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--channels" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("fig9: --channels needs a positive integer");
+                        std::process::exit(2);
+                    });
+                harness.memory = harness.memory.with_channels(n);
+            }
+            _ => {
+                eprintln!("fig9: unknown argument {a:?} (supported: --channels N)");
+                std::process::exit(2);
+            }
+        }
+    }
     let schemes = SchemeKind::headline();
     let workloads = Workload::spec2006();
     eprintln!(
-        "running {} schemes x {} workloads at {} instr/core …",
+        "running {} schemes x {} workloads at {} instr/core ({} channel(s)) …",
         schemes.len(),
         workloads.len(),
-        harness.instructions_per_core
+        harness.instructions_per_core,
+        harness.memory.topology.channels
     );
     let results = harness.run_matrix(&schemes, &workloads);
     let rows = normalized(&results, SchemeKind::Ideal, |r| r.exec_ns as f64);

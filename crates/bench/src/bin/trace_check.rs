@@ -3,8 +3,9 @@
 //! Parses a Chrome trace-event JSON file with the in-tree parser (the
 //! workspace is offline — no `jq`, no JSON crate), checks the structural
 //! schema [`readduo_telemetry::check`] defines, and optionally asserts
-//! required content: specific event names in the trace, and metrics-file
-//! histograms with a non-zero p99. Exits non-zero on any failure, so
+//! required content: specific event names in the trace, named tracks
+//! (e.g. the per-channel `c0.bank 0` tracks a sharded run must emit), and
+//! metrics-file histograms with a non-zero p99. Exits non-zero on any failure, so
 //! `ci.sh` can gate on it directly.
 
 use readduo_bench::handle_help;
@@ -14,7 +15,8 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage: trace_check <trace.json> [--metrics <metrics.json>] \
-         [--require <event-name>]... [--require-hist <metric-name>]..."
+         [--require <event-name>]... [--require-track <track-name>]... \
+         [--require-hist <metric-name>]..."
     );
     exit(2);
 }
@@ -28,12 +30,14 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut required_events: Vec<String> = Vec::new();
+    let mut required_tracks: Vec<String> = Vec::new();
     let mut required_hists: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--metrics" => metrics_path = Some(it.next().unwrap_or_else(|| usage())),
             "--require" => required_events.push(it.next().unwrap_or_else(|| usage())),
+            "--require-track" => required_tracks.push(it.next().unwrap_or_else(|| usage())),
             "--require-hist" => required_hists.push(it.next().unwrap_or_else(|| usage())),
             _ if a.starts_with('-') => usage(),
             _ if trace_path.is_none() => trace_path = Some(a),
@@ -66,6 +70,12 @@ fn main() {
     for name in &required_events {
         if !stats.names.contains(name) {
             eprintln!("trace_check: required event {name:?} absent from the trace");
+            failed = true;
+        }
+    }
+    for name in &required_tracks {
+        if !stats.thread_names.iter().any(|t| t == name) {
+            eprintln!("trace_check: required track {name:?} absent from the trace");
             failed = true;
         }
     }

@@ -60,15 +60,18 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Builds the default harness; `READDUO_INSTR` overrides the volume.
+    /// Builds the default harness; `READDUO_INSTR` overrides the volume
+    /// and `READDUO_CHANNELS` re-stripes the paper machine over that many
+    /// memory channels (default 1 — the paper's single-channel device).
     pub fn from_env() -> Self {
         let instructions_per_core =
             readduo_env::u64_at_least("READDUO_INSTR", 1).unwrap_or(1_000_000);
+        let channels = readduo_env::usize_at_least("READDUO_CHANNELS", 1).unwrap_or(1);
         Self {
             instructions_per_core,
             cores: 4,
             seed: 0x00D5_EAD0_2016,
-            memory: MemoryConfig::paper(),
+            memory: MemoryConfig::paper().with_channels(channels),
         }
     }
 
@@ -95,6 +98,12 @@ impl Harness {
     }
 
     /// Runs one scheme against an already-generated trace.
+    ///
+    /// Single-channel topologies take the plain engine; multi-channel
+    /// topologies shard across channels on the ambient pool
+    /// ([`Pool::from_env`]) — one [`TraceCursor`](readduo_trace::TraceCursor)
+    /// replay and one per-channel-seeded device per channel. Reports are
+    /// bit-for-bit independent of the thread count either way.
     pub fn run_on_trace(
         &self,
         workload: &Workload,
@@ -104,8 +113,16 @@ impl Harness {
         let _phase = readduo_telemetry::trace::phase(format!("sim/{}/{scheme}", workload.name));
         readduo_telemetry::trace::set_run_label(&format!("{}/{scheme}", workload.name));
         let sim = Simulator::new(self.memory);
-        let mut device = self.device_for(workload, scheme);
-        let report = sim.run(trace, device.as_mut());
+        let report = if self.memory.topology.channels > 1 {
+            sim.run_sharded(
+                &Pool::from_env(),
+                |_ch| readduo_trace::TraceCursor::new(trace),
+                |ch| self.device_for_channel(workload, scheme, ch),
+            )
+        } else {
+            let mut device = self.device_for(workload, scheme);
+            sim.run(trace, device.as_mut())
+        };
         let result = RunResult {
             workload: workload.name,
             scheme,
@@ -124,13 +141,40 @@ impl Harness {
     /// [`run_on_trace`]: Harness::run_on_trace
     /// [`trace_for`]: Harness::trace_for
     pub fn run_streamed(&self, workload: &Workload, scheme: SchemeKind) -> RunResult {
+        self.run_streamed_on(&Pool::from_env(), workload, scheme)
+    }
+
+    /// [`run_streamed`] with an explicit pool for the per-channel fan-out.
+    /// Single-channel topologies ignore the pool (there is nothing to fan
+    /// out); multi-channel reports are bit-for-bit identical across pool
+    /// widths, so the pool only chooses the wall clock.
+    ///
+    /// [`run_streamed`]: Harness::run_streamed
+    pub fn run_streamed_on(
+        &self,
+        pool: &Pool,
+        workload: &Workload,
+        scheme: SchemeKind,
+    ) -> RunResult {
         let _phase =
             readduo_telemetry::trace::phase(format!("sim-stream/{}/{scheme}", workload.name));
         readduo_telemetry::trace::set_run_label(&format!("{}/{scheme}", workload.name));
         let sim = Simulator::new(self.memory);
-        let mut device = self.device_for(workload, scheme);
-        let mut stream = self.stream_for(workload);
-        let report = sim.run_source(&mut stream, device.as_mut());
+        let report = if self.memory.topology.channels > 1 {
+            // Each channel re-generates the stream chunk by chunk and
+            // filters it to the lines it owns: peak memory stays bounded
+            // and channel routing is stream-order-invariant by
+            // construction (the stream replays identically per channel).
+            sim.run_sharded(
+                pool,
+                |_ch| self.stream_for(workload),
+                |ch| self.device_for_channel(workload, scheme, ch),
+            )
+        } else {
+            let mut device = self.device_for(workload, scheme);
+            let mut stream = self.stream_for(workload);
+            sim.run_source(&mut stream, device.as_mut())
+        };
         let result = RunResult {
             workload: workload.name,
             scheme,
@@ -147,12 +191,28 @@ impl Harness {
         workload: &Workload,
         scheme: SchemeKind,
     ) -> Box<dyn readduo_memsim::DeviceModel> {
+        self.device_for_channel(workload, scheme, 0)
+    }
+
+    /// Builds one channel's device for `scheme`: the workload seed
+    /// decorrelated per channel. Channel 0 is exactly [`device_for`]'s
+    /// device, which keeps single-channel runs pinned to the pre-topology
+    /// reports.
+    ///
+    /// [`device_for`]: Harness::device_for
+    fn device_for_channel(
+        &self,
+        workload: &Workload,
+        scheme: SchemeKind,
+        channel: usize,
+    ) -> Box<dyn readduo_memsim::DeviceModel> {
         // Lines below the warm boundary are in write steady state; the
         // schemes treat them as recently written (pre-window).
         let warm_boundary = (workload.footprint_lines.max(16) as f64
             * workload.locality.written_fraction) as u64;
-        scheme.build_for(
+        scheme.build_for_channel(
             self.seed ^ workload.name.len() as u64,
+            channel,
             warm_boundary,
             workload.footprint_lines,
         )
@@ -186,18 +246,34 @@ impl Harness {
         // are directly comparable with their fault-free counterparts.
         let warm_boundary = (workload.footprint_lines.max(16) as f64
             * workload.locality.written_fraction) as u64;
-        let mut device = scheme.build_faulty(
-            self.seed ^ workload.name.len() as u64,
-            fault_seed,
-            warm_boundary,
-            workload.footprint_lines,
-        )?;
+        let seed = self.seed ^ workload.name.len() as u64;
+        let mut device =
+            scheme.build_faulty(seed, fault_seed, warm_boundary, workload.footprint_lines)?;
         let trace = self.trace_for(workload);
         let _phase =
             readduo_telemetry::trace::phase(format!("sim-faulty/{}/{scheme}", workload.name));
         readduo_telemetry::trace::set_run_label(&format!("{}/{scheme} (faulty)", workload.name));
         let sim = Simulator::new(self.memory);
-        let report = sim.run(&trace, device.as_mut());
+        let report = if self.memory.topology.channels > 1 {
+            // Both the analytic and the fault RNG streams decorrelate per
+            // channel; channel 0 uses the run seeds unchanged.
+            sim.run_sharded(
+                &Pool::from_env(),
+                |_ch| readduo_trace::TraceCursor::new(&trace),
+                |ch| {
+                    scheme
+                        .build_faulty(
+                            readduo_core::channel_seed(seed, ch),
+                            readduo_core::channel_seed(fault_seed, ch),
+                            warm_boundary,
+                            workload.footprint_lines,
+                        )
+                        .expect("scheme probed fault-capable above")
+                },
+            )
+        } else {
+            sim.run(&trace, device.as_mut())
+        };
         let result = RunResult {
             workload: workload.name,
             scheme,

@@ -5,6 +5,14 @@ use crate::area::LineStorage;
 use crate::schemes::{HybridScheme, LwtScheme, MMetricScheme, ScrubbingScheme, TlcScheme};
 use readduo_memsim::{DeviceModel, FixedLatencyDevice};
 
+/// Derives one channel's device seed from the run seed: channel 0 keeps
+/// the seed unchanged (so a single-channel topology reproduces the
+/// pre-topology device construction bit-for-bit) and later channels are
+/// decorrelated by a golden-ratio multiply of the channel index.
+pub fn channel_seed(seed: u64, channel: usize) -> u64 {
+    seed ^ (channel as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Every scheme configuration in the paper's figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
@@ -123,6 +131,23 @@ impl SchemeKind {
             ),
             SchemeKind::Tlc => Box::new(TlcScheme::paper()),
         }
+    }
+
+    /// Builds the device model for one channel of a sharded topology: the
+    /// same scheme construction with the run seed decorrelated per channel
+    /// via [`channel_seed`], so channels draw independent drift/noise
+    /// streams. Channel 0 uses the run seed unchanged — a single-channel
+    /// topology builds bit-for-bit the device [`build_for`] builds.
+    ///
+    /// [`build_for`]: SchemeKind::build_for
+    pub fn build_for_channel(
+        &self,
+        seed: u64,
+        channel: usize,
+        warm_boundary: u64,
+        footprint_lines: u64,
+    ) -> Box<dyn DeviceModel> {
+        self.build_for(channel_seed(seed, channel), warm_boundary, footprint_lines)
     }
 
     /// Builds the device model with Monte-Carlo fault injection attached

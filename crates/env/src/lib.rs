@@ -75,6 +75,12 @@ pub fn recognized() -> &'static [EnvVar] {
             doc: "Worker threads of the sweep pool; 1 forces the sequential path",
         },
         EnvVar {
+            name: "READDUO_CHANNELS",
+            kind: EnvKind::Count { min: 1 },
+            default: "1",
+            doc: "Memory channels of the topology; >1 shards the engine per channel",
+        },
+        EnvVar {
             name: "READDUO_CHUNK",
             kind: EnvKind::Count { min: 1 },
             default: "8192",

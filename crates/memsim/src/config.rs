@@ -60,6 +60,112 @@ impl Default for EnergyModel {
     }
 }
 
+/// Physical placement of one line under the interleave: which channel
+/// services it, where inside that channel's bank array it lives, and its
+/// channel-local line index. Produced by [`Topology::decompose`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineAddr {
+    /// Channel servicing the line.
+    pub channel: usize,
+    /// Rank within the channel.
+    pub rank: usize,
+    /// Bank within the rank.
+    pub bank: usize,
+    /// Flat bank index within the channel: `rank * banks_per_rank + bank`.
+    /// This is the index the per-channel controller actually dispatches on.
+    pub bank_in_channel: usize,
+    /// Line index within the bank (the scrub pointer walks this space).
+    pub local_line: u64,
+}
+
+/// Memory topology: `channels × ranks × banks`, line-interleaved.
+///
+/// Consecutive lines stripe across channels first (so sequential streams
+/// spread over every independent bus), then across the banks of a channel,
+/// then advance the bank-local line index:
+///
+/// ```text
+/// stripe          = line % (channels × banks_per_channel)
+/// channel         = stripe % channels
+/// bank_in_channel = stripe / channels
+/// local_line      = line / (channels × banks_per_channel)
+/// ```
+///
+/// The map is a bijection between `[0, total_lines)` and
+/// `(channel, bank_in_channel, local_line)` triples, exactly balanced over
+/// banks within every full stripe period, and for `channels = 1` it
+/// degenerates to the pre-topology mapping `bank = line % banks`,
+/// `local = line / banks` — which is what keeps single-channel reports
+/// bit-for-bit identical to the unsharded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Independent channels, each with its own bus, controller, write
+    /// queues, scrub engine and timing wheel.
+    pub channels: usize,
+    /// Ranks per channel (timing-transparent grouping of banks; the
+    /// controller dispatches on the flat `bank_in_channel` index).
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+}
+
+impl Topology {
+    /// One channel of `ranks × banks_per_rank` banks.
+    pub fn single_channel(ranks: usize, banks_per_rank: usize) -> Self {
+        Self { channels: 1, ranks, banks_per_rank }
+    }
+
+    /// Banks inside one channel.
+    pub fn banks_per_channel(&self) -> usize {
+        self.ranks * self.banks_per_rank
+    }
+
+    /// Banks across all channels.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.banks_per_channel()
+    }
+
+    /// Channel servicing `line`. Equals `decompose(line).channel` — the
+    /// stripe index modulo the channel count reduces to `line % channels`.
+    pub fn channel_of(&self, line: u64) -> usize {
+        (line % self.channels as u64) as usize
+    }
+
+    /// Full placement of `line` under the interleave.
+    pub fn decompose(&self, line: u64) -> LineAddr {
+        let cb = self.total_banks() as u64;
+        let stripe = line % cb;
+        let channel = (stripe % self.channels as u64) as usize;
+        let bank_in_channel = (stripe / self.channels as u64) as usize;
+        LineAddr {
+            channel,
+            rank: bank_in_channel / self.banks_per_rank,
+            bank: bank_in_channel % self.banks_per_rank,
+            bank_in_channel,
+            local_line: line / cb,
+        }
+    }
+
+    /// Inverse of [`decompose`]: the global line for a placement.
+    ///
+    /// [`decompose`]: Topology::decompose
+    pub fn recompose(&self, channel: usize, bank_in_channel: usize, local_line: u64) -> u64 {
+        let cb = self.total_banks() as u64;
+        local_line * cb + (bank_in_channel * self.channels + channel) as u64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero channel, rank or bank count.
+    pub fn validate(&self) {
+        assert!(self.channels > 0, "need at least one channel");
+        assert!(self.ranks > 0, "need at least one rank");
+        assert!(self.banks_per_rank > 0, "need at least one bank per rank");
+    }
+}
+
 /// Memory-system configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryConfig {
@@ -67,10 +173,10 @@ pub struct MemoryConfig {
     pub cores: usize,
     /// Core clock in GHz (non-memory instructions retire at IPC 1).
     pub core_ghz: f64,
-    /// Number of PCM banks (line-interleaved).
-    pub banks: usize,
-    /// 64 B lines per bank. With 8 banks of 1 GiB this is 2^24 lines; the
-    /// scrub cadence per bank is `lines_per_bank / S` per second.
+    /// Memory topology: channels × ranks × banks, line-interleaved.
+    pub topology: Topology,
+    /// 64 B lines per bank. The scrub cadence per bank is
+    /// `lines_per_bank / S` per second.
     pub lines_per_bank: u64,
     /// Data-bus occupancy per line transfer, ns (burst on DDR-style bus).
     pub bus_ns: u64,
@@ -101,7 +207,7 @@ impl MemoryConfig {
         Self {
             cores: 4,
             core_ghz: 2.0,
-            banks: 16,
+            topology: Topology::single_channel(2, 8),
             lines_per_bank: (128u64 << 20) / 64,
             bus_ns: 8,
             write_queue_cap: 16,
@@ -118,7 +224,7 @@ impl MemoryConfig {
         Self {
             cores: 2,
             core_ghz: 2.0,
-            banks: 2,
+            topology: Topology::single_channel(1, 2),
             lines_per_bank: 1 << 14,
             bus_ns: 8,
             write_queue_cap: 4,
@@ -129,30 +235,39 @@ impl MemoryConfig {
         }
     }
 
+    /// The same configuration re-striped over `channels` channels. The
+    /// per-channel bank array is unchanged, so total capacity scales with
+    /// the channel count — a server-scale device, not a re-partitioned
+    /// laptop one.
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.topology.channels = channels;
+        self
+    }
+
     /// Cycle time in nanoseconds.
     pub fn cycle_ns(&self) -> f64 {
         1.0 / self.core_ghz
     }
 
-    /// Total lines in the memory.
+    /// Total lines in the memory, across all channels.
     pub fn total_lines(&self) -> u64 {
-        self.lines_per_bank * self.banks as u64
+        self.lines_per_bank * self.topology.total_banks() as u64
     }
 
-    /// Bank servicing a line (line-interleaved mapping).
+    /// Bank-within-channel servicing a line (line-interleaved mapping).
     pub fn bank_of(&self, line: u64) -> usize {
-        (line % self.banks as u64) as usize
+        self.topology.decompose(line).bank_in_channel
     }
 
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
-    /// Panics on a zero core/bank count, zero capacity, or a non-positive
-    /// clock.
+    /// Panics on a zero core count, empty topology, zero capacity, or a
+    /// non-positive clock.
     pub fn validate(&self) {
         assert!(self.cores > 0, "need at least one core");
-        assert!(self.banks > 0, "need at least one bank");
+        self.topology.validate();
         assert!(self.lines_per_bank > 0, "banks must hold lines");
         assert!(self.core_ghz > 0.0, "clock must be positive");
         assert!(self.write_queue_cap > 0, "write queue must hold at least one entry");
@@ -186,6 +301,45 @@ mod tests {
         assert_eq!(c.bank_of(1), 1);
         assert_eq!(c.bank_of(16), 0);
         assert_eq!(c.bank_of(15), 15);
+    }
+
+    /// At one channel the interleave is exactly the pre-topology mapping:
+    /// `bank = line % banks`, `local = line / banks`.
+    #[test]
+    fn single_channel_reduces_to_legacy_mapping() {
+        let t = Topology::single_channel(2, 8);
+        for line in 0..200u64 {
+            let a = t.decompose(line);
+            assert_eq!(a.channel, 0);
+            assert_eq!(a.bank_in_channel, (line % 16) as usize);
+            assert_eq!(a.local_line, line / 16);
+            assert_eq!(a.rank, a.bank_in_channel / 8);
+            assert_eq!(a.bank, a.bank_in_channel % 8);
+            assert_eq!(t.recompose(a.channel, a.bank_in_channel, a.local_line), line);
+        }
+    }
+
+    /// Consecutive lines stripe channel-first, and decompose/recompose
+    /// round-trip over a multi-channel topology.
+    #[test]
+    fn multi_channel_stripes_channels_first() {
+        let t = Topology { channels: 4, ranks: 2, banks_per_rank: 2 };
+        assert_eq!(t.banks_per_channel(), 4);
+        assert_eq!(t.total_banks(), 16);
+        for line in 0..160u64 {
+            let a = t.decompose(line);
+            assert_eq!(a.channel, (line % 4) as usize, "channel-first striping");
+            assert_eq!(a.channel, t.channel_of(line));
+            assert!(a.bank_in_channel < t.banks_per_channel());
+            assert_eq!(t.recompose(a.channel, a.bank_in_channel, a.local_line), line);
+        }
+        // Lines 0..16 hit all 16 (channel, bank) pairs exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..16u64 {
+            let a = t.decompose(line);
+            assert_eq!(a.local_line, 0);
+            assert!(seen.insert((a.channel, a.bank_in_channel)));
+        }
     }
 
     #[test]

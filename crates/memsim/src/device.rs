@@ -116,6 +116,27 @@ pub trait DeviceModel {
     fn scrub_interval_s(&self) -> Option<f64>;
 }
 
+/// Boxed devices forward to their contents, so `Box<dyn DeviceModel>` —
+/// what the scheme constructors return — satisfies the generic bounds of
+/// the sharded executors directly.
+impl<T: DeviceModel + ?Sized> DeviceModel for Box<T> {
+    fn on_read(&mut self, line: u64, now_s: f64) -> ReadOutcome {
+        (**self).on_read(line, now_s)
+    }
+
+    fn on_write(&mut self, line: u64, now_s: f64) -> WriteOutcome {
+        (**self).on_write(line, now_s)
+    }
+
+    fn on_scrub(&mut self, line: u64, now_s: f64) -> ScrubOutcome {
+        (**self).on_scrub(line, now_s)
+    }
+
+    fn scrub_interval_s(&self) -> Option<f64> {
+        (**self).scrub_interval_s()
+    }
+}
+
 /// A drift-free device with fixed latencies: the **Ideal** baseline and the
 /// engine-test stub.
 #[derive(Debug, Clone, Copy)]

@@ -84,18 +84,33 @@ struct Tel {
 }
 
 impl Tel {
-    fn begin(cfg: &MemoryConfig, cores: usize) -> Option<Tel> {
-        let mut trace = SimTrace::begin("memsim")?;
-        for b in 0..cfg.banks {
-            trace.name_track(b as u32, format!("bank {b}"));
+    /// Per-channel telemetry. Single-channel runs keep the historical
+    /// names (`memsim`, `bank {b}`, `queue.b{N}`); multi-channel runs
+    /// qualify every track and counter with the channel so the merged
+    /// trace separates the channels (`memsim.c{C}`, `c{C}.bank {b}`,
+    /// `queue.c{C}.b{N}`).
+    fn begin(cfg: &MemoryConfig, channel: usize, cores: usize) -> Option<Tel> {
+        let banks = cfg.topology.banks_per_channel();
+        let multi = cfg.topology.channels > 1;
+        let label =
+            if multi { format!("memsim.c{channel}") } else { "memsim".to_string() };
+        let mut trace = SimTrace::begin(&label)?;
+        for b in 0..banks {
+            let name =
+                if multi { format!("c{channel}.bank {b}") } else { format!("bank {b}") };
+            trace.name_track(b as u32, name);
         }
         for c in 0..cores {
-            trace.name_track((cfg.banks + c) as u32, format!("core {c}"));
+            let name =
+                if multi { format!("c{channel}.core {c}") } else { format!("core {c}") };
+            trace.name_track((banks + c) as u32, name);
         }
-        Some(Tel {
-            trace,
-            queue_names: (0..cfg.banks).map(|b| format!("queue.b{b}")).collect(),
-        })
+        let queue_names = (0..banks)
+            .map(|b| {
+                if multi { format!("queue.c{channel}.b{b}") } else { format!("queue.b{b}") }
+            })
+            .collect();
+        Some(Tel { trace, queue_names })
     }
 
     /// Samples bank `b`'s write-queue depth on its counter track.
@@ -113,8 +128,17 @@ fn mode_name(mode: ReadMode) -> &'static str {
     }
 }
 
-struct Run<'a, D: DeviceModel + ?Sized, S: OpSource> {
+/// One channel's engine state: its own bus, bank array, write queues,
+/// scrub engine and timing wheel. A single-channel machine is exactly one
+/// `Run`; a sharded machine is `channels` of them, each consuming the ops
+/// its channel owns. `pub(crate)` so the sharded executor in
+/// [`crate::shard`] can seed and single-step it.
+pub(crate) struct Run<'a, D: DeviceModel + ?Sized, S: OpSource> {
     cfg: MemoryConfig,
+    /// This channel's index within the topology.
+    channel: usize,
+    /// Banks in this channel (`topology.banks_per_channel()`).
+    nbanks: usize,
     device: &'a mut D,
     source: &'a mut S,
     banks: Vec<Bank>,
@@ -125,6 +149,8 @@ struct Run<'a, D: DeviceModel + ?Sized, S: OpSource> {
     bus_busy_until: u64,
     report: SimReport,
     scrub_period_ns: Option<u64>,
+    /// Latest core-visible op completion seen so far (becomes `exec_ns`).
+    exec_end: u64,
     /// Sim-time tracing, `None` unless `READDUO_TELEMETRY` is on.
     tel: Option<Tel>,
 }
@@ -154,7 +180,9 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the trace has more cores than the configuration.
+    /// Panics if the trace has more cores than the configuration, or if
+    /// the topology has more than one channel (multi-channel runs go
+    /// through [`run_sharded`](Simulator::run_sharded)).
     pub fn run<D: DeviceModel + ?Sized>(&self, trace: &Trace, device: &mut D) -> SimReport {
         self.run_source(&mut TraceCursor::new(trace), device)
     }
@@ -164,37 +192,61 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the source has more cores than the configuration.
+    /// Panics if the source has more cores than the configuration, or if
+    /// the topology has more than one channel (multi-channel runs need one
+    /// source per channel — see [`run_sharded`](Simulator::run_sharded)).
     pub fn run_source<D: DeviceModel + ?Sized, S: OpSource>(
         &self,
         source: &mut S,
         device: &mut D,
     ) -> SimReport {
         assert!(
+            self.config.topology.channels == 1,
+            "run/run_source drive a single channel; use run_sharded for {} channels",
+            self.config.topology.channels
+        );
+        let run = self.channel_run(0, source, device);
+        run.execute()
+    }
+
+    /// Builds one channel's engine over a source already filtered to that
+    /// channel's lines.
+    pub(crate) fn channel_run<'a, D: DeviceModel + ?Sized, S: OpSource>(
+        &self,
+        channel: usize,
+        source: &'a mut S,
+        device: &'a mut D,
+    ) -> Run<'a, D, S> {
+        assert!(
             source.cores() <= self.config.cores,
             "trace has {} cores but the machine only {}",
             source.cores(),
             self.config.cores
         );
-        let tel = Tel::begin(&self.config, source.cores());
-        let run = Run {
+        let nbanks = self.config.topology.banks_per_channel();
+        let tel = Tel::begin(&self.config, channel, source.cores());
+        Run {
             cfg: self.config,
+            channel,
+            nbanks,
             device,
             source,
-            banks: (0..self.config.banks).map(|_| Bank::default()).collect(),
+            banks: (0..nbanks).map(|_| Bank::default()).collect(),
             live_cores: 0,
             events: EventQueue::new(),
             bus_busy_until: 0,
             report: SimReport::default(),
             scrub_period_ns: None,
+            exec_end: 0,
             tel,
-        };
-        run.execute()
+        }
     }
 }
 
 impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
-    fn execute(mut self) -> SimReport {
+    /// Seeds the initial event population: one issue per live core, one
+    /// phase-staggered scrub tick per bank.
+    pub(crate) fn seed(&mut self) {
         // Seed core events.
         let cycle = self.cfg.cycle_ns();
         for core in 0..self.source.cores() {
@@ -209,40 +261,71 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
         if let Some(s) = self.device.scrub_interval_s() {
             let period = (s * 1e9 / self.cfg.lines_per_bank as f64).max(1.0) as u64;
             self.scrub_period_ns = Some(period.max(1));
-            for b in 0..self.cfg.banks {
+            let total_banks = self.cfg.topology.total_banks() as u64;
+            for b in 0..self.nbanks {
                 // Stagger tick phases so banks do not scrub in lockstep,
                 // and scatter each bank's scrub register across its lines:
                 // a short simulated window must sample the *whole* bank's
                 // line population (mostly data outside the workload's
-                // footprint), not the first few kilobytes.
-                let phase = period * b as u64 / self.cfg.banks as u64;
-                self.banks[b].scrub_ptr = (b as u64 + 1)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    % self.cfg.lines_per_bank;
+                // footprint), not the first few kilobytes. Phase and
+                // scatter derive from the bank's *global* index so every
+                // bank in the machine is distinct, and a single channel
+                // reproduces the pre-topology seeding exactly.
+                let g = (self.channel * self.nbanks + b) as u64;
+                let phase = period * g / total_banks;
+                self.banks[b].scrub_ptr =
+                    (g + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.cfg.lines_per_bank;
                 self.push(phase, EventKind::ScrubTick(b));
             }
         }
-        let mut exec_end = 0u64;
-        while let Some((at, kind)) = self.events.pop() {
-            match kind {
-                EventKind::CoreIssue(core) => {
-                    let done = self.core_issue(core, at);
-                    exec_end = exec_end.max(done);
+    }
+
+    /// Time of this channel's next pending event — the key the sequential
+    /// reference merges channels on.
+    pub(crate) fn next_at(&mut self) -> Option<u64> {
+        self.events.peek_at()
+    }
+
+    /// Pops and dispatches one event; `false` when the channel is drained.
+    pub(crate) fn step(&mut self) -> bool {
+        match self.events.pop() {
+            Some((at, kind)) => {
+                self.dispatch(at, kind);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes the run and returns its report.
+    pub(crate) fn finish(mut self) -> SimReport {
+        self.report.exec_ns = self.exec_end;
+        self.report
+    }
+
+    pub(crate) fn execute(mut self) -> SimReport {
+        self.seed();
+        while self.step() {}
+        self.finish()
+    }
+
+    fn dispatch(&mut self, at: u64, kind: EventKind) {
+        match kind {
+            EventKind::CoreIssue(core) => {
+                let done = self.core_issue(core, at);
+                self.exec_end = self.exec_end.max(done);
+            }
+            EventKind::BankKick(b) => self.bank_kick(b, at),
+            EventKind::ScrubTick(b) => {
+                // Once all cores drained, stop re-arming scrub ticks so
+                // the run terminates; pending bank kicks still drain the
+                // write queues for faithful energy/lifetime accounting.
+                if self.live_cores == 0 {
+                    return;
                 }
-                EventKind::BankKick(b) => self.bank_kick(b, at),
-                EventKind::ScrubTick(b) => {
-                    // Once all cores drained, stop re-arming scrub ticks so
-                    // the run terminates; pending bank kicks still drain the
-                    // write queues for faithful energy/lifetime accounting.
-                    if self.live_cores == 0 {
-                        continue;
-                    }
-                    self.scrub_tick(b, at);
-                }
+                self.scrub_tick(b, at);
             }
         }
-        self.report.exec_ns = exec_end;
-        self.report
     }
 
     fn push(&mut self, at: u64, kind: EventKind) {
@@ -257,6 +340,11 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
     /// completion time of this op.
     fn core_issue(&mut self, core: usize, now: u64) -> u64 {
         let op = self.source.peek(core).expect("issue event for a drained core");
+        debug_assert_eq!(
+            self.cfg.topology.channel_of(op.line),
+            self.channel,
+            "op routed to the wrong channel"
+        );
         let b = self.cfg.bank_of(op.line);
         match op.kind {
             OpKind::Read => {
@@ -292,7 +380,7 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                     // core's own track.
                     tel.trace.span(b as u32, mode_name(out.mode), start, done);
                     tel.trace
-                        .span((self.cfg.banks + core) as u32, "read", now, done);
+                        .span((self.nbanks + core) as u32, "read", now, done);
                     if out.mode == ReadMode::RmRead {
                         tel.trace.instant(b as u32, "escalation", array_done);
                     }
@@ -507,7 +595,7 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
         }
         let local = self.banks[b].scrub_ptr;
         self.banks[b].scrub_ptr = (local + 1) % self.cfg.lines_per_bank;
-        let line = local * self.cfg.banks as u64 + b as u64;
+        let line = self.cfg.topology.recompose(self.channel, b, local);
         let start = now.max(self.banks[b].busy_until);
         let out = self.device.on_scrub(line, self.secs(start));
         let mut dur = out.read_latency_ns;
@@ -831,13 +919,14 @@ mod tests {
         }
         let mut dev = ScrubRecorder { visits: Vec::new() };
         let rep = Simulator::new(c).run(&t, &mut dev);
-        assert!(rep.scrubs as usize >= 2 * 4 * c.banks, "need multiple wraps");
-        for b in 0..c.banks as u64 {
+        let nb = c.topology.banks_per_channel() as u64;
+        assert!(rep.scrubs >= 2 * 4 * nb, "need multiple wraps");
+        for b in 0..nb {
             let locals: Vec<u64> = dev
                 .visits
                 .iter()
-                .filter(|&&l| l % c.banks as u64 == b)
-                .map(|&l| l / c.banks as u64)
+                .filter(|&&l| l % nb == b)
+                .map(|&l| l / nb)
                 .collect();
             assert!(locals.len() > 4, "bank {b} barely scrubbed");
             assert!(locals.iter().all(|&l| l < c.lines_per_bank));

@@ -42,12 +42,15 @@
 pub mod config;
 pub mod device;
 pub mod engine;
-mod sched;
+pub mod sched;
+pub mod shard;
 pub mod stats;
 
-pub use config::{EnergyModel, MemoryConfig};
+pub use config::{EnergyModel, LineAddr, MemoryConfig, Topology};
 pub use device::{
     DeviceModel, FixedLatencyDevice, ReadMode, ReadOutcome, ScrubOutcome, WriteOutcome,
 };
 pub use engine::Simulator;
+pub use sched::{ChannelMerge, EventQueue};
+pub use shard::ChannelFilter;
 pub use stats::{LatencySummary, SimReport};

@@ -65,8 +65,12 @@ impl<K> PartialOrd for Entry<K> {
 /// The two-level scheduler. `K` is the event payload; ordering is by
 /// `(time, insertion sequence)` only, so FIFO among same-time events is
 /// preserved exactly as with the previous global heap.
+///
+/// Public so the sharded engine's cross-channel merge ([`ChannelMerge`])
+/// and its property tests can drive a wheel directly; the engine itself
+/// owns one wheel per channel.
 #[derive(Debug)]
-pub(crate) struct EventQueue<K> {
+pub struct EventQueue<K> {
     /// Events due in `[bucket_start, bucket_start + BUCKET_WIDTH_NS)`.
     cur: BinaryHeap<Reverse<Entry<K>>>,
     /// Unsorted buckets for `[window end, horizon)`; slot = `(at / width) % BUCKETS`.
@@ -82,8 +86,15 @@ pub(crate) struct EventQueue<K> {
     seq: u64,
 }
 
+impl<K> Default for EventQueue<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<K> EventQueue<K> {
-    pub(crate) fn new() -> Self {
+    /// Creates an empty queue with its window at time zero.
+    pub fn new() -> Self {
         Self {
             cur: BinaryHeap::new(),
             wheel: (0..BUCKETS).map(|_| Vec::new()).collect(),
@@ -103,7 +114,7 @@ impl<K> EventQueue<K> {
     /// Schedules `kind` at time `at` (nanoseconds). Events pushed while one
     /// is being processed must not be earlier than the current window —
     /// the engine only ever schedules at or after *now*.
-    pub(crate) fn push(&mut self, at: u64, kind: K) {
+    pub fn push(&mut self, at: u64, kind: K) {
         self.seq += 1;
         self.len += 1;
         let entry = Entry { at, seq: self.seq, kind };
@@ -116,7 +127,7 @@ impl<K> EventQueue<K> {
     /// inline-kick fast path. `now` must lie within the current window
     /// (which holds whenever the caller is processing an event popped at
     /// `now`), since only `cur` is inspected.
-    pub(crate) fn next_is_after(&self, now: u64) -> bool {
+    pub fn next_is_after(&self, now: u64) -> bool {
         debug_assert!(
             self.bucket_start <= now && now < self.horizon(),
             "next_is_after queried outside the current window"
@@ -125,15 +136,26 @@ impl<K> EventQueue<K> {
     }
 
     /// Removes and returns the earliest pending event by `(at, seq)`.
-    pub(crate) fn pop(&mut self) -> Option<(u64, K)> {
-        loop {
-            if let Some(Reverse(e)) = self.cur.pop() {
-                self.len -= 1;
-                return Some((e.at, e.kind));
-            }
-            if self.len == 0 {
-                return None;
-            }
+    pub fn pop(&mut self) -> Option<(u64, K)> {
+        self.settle();
+        self.cur.pop().map(|Reverse(e)| {
+            self.len -= 1;
+            (e.at, e.kind)
+        })
+    }
+
+    /// Time of the earliest pending event, without removing it. Advances
+    /// the window as needed (same lazy migration `pop` performs), so the
+    /// result is exact across all three tiers, not just the current window.
+    pub fn peek_at(&mut self) -> Option<u64> {
+        self.settle();
+        self.cur.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Advances the window until the earliest pending event (if any) sits
+    /// in `cur`. After this, `cur`'s top is the global `(at, seq)` minimum.
+    fn settle(&mut self) {
+        while self.cur.is_empty() && self.len != 0 {
             if self.wheel_len == 0 {
                 // Only far-future events remain: jump the window straight
                 // to the earliest one instead of stepping bucket by bucket.
@@ -163,6 +185,11 @@ impl<K> EventQueue<K> {
         self.bucket_start + BUCKET_WIDTH_NS * BUCKETS as u64
     }
 
+    /// Total pending events.
+    pub fn pending(&self) -> usize {
+        self.len
+    }
+
     fn route(&mut self, entry: Entry<K>) {
         if entry.at < self.bucket_start + BUCKET_WIDTH_NS {
             self.cur.push(Reverse(entry));
@@ -176,6 +203,67 @@ impl<K> EventQueue<K> {
         } else {
             self.overflow.push(Reverse(entry));
         }
+    }
+}
+
+/// The cross-channel merge rule of the sharded engine, as a standalone
+/// structure: one [`EventQueue`] lane per channel, popped in exact
+/// `(at, channel, seq)` order — earliest time first, ties broken by the
+/// lowest channel index, and insertion order within a channel. The
+/// sequential reference runner (`Simulator::run_sharded_reference`)
+/// applies this identical rule over the per-channel engines' own wheels;
+/// keeping the rule reified here lets the property suite pin it against a
+/// `BinaryHeap` reference independently of the engine.
+#[derive(Debug)]
+pub struct ChannelMerge<K> {
+    lanes: Vec<EventQueue<K>>,
+}
+
+impl<K> ChannelMerge<K> {
+    /// Creates a merge over `channels` empty lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels >= 1, "at least one channel");
+        Self {
+            lanes: (0..channels).map(|_| EventQueue::new()).collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn channels(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Schedules `kind` on `channel` at time `at`. Sequence numbers are
+    /// per-channel, exactly as in the sharded engine where each channel
+    /// pushes onto its own wheel.
+    pub fn push(&mut self, channel: usize, at: u64, kind: K) {
+        self.lanes[channel].push(at, kind);
+    }
+
+    /// Removes and returns the earliest pending event by
+    /// `(at, channel, seq)`.
+    pub fn pop(&mut self) -> Option<(u64, usize, K)> {
+        let mut best: Option<(u64, usize)> = None;
+        for (ch, lane) in self.lanes.iter_mut().enumerate() {
+            if let Some(at) = lane.peek_at() {
+                // Strict `<` keeps the earliest channel on ties.
+                if best.is_none_or(|(b_at, _)| at < b_at) {
+                    best = Some((at, ch));
+                }
+            }
+        }
+        let (_, ch) = best?;
+        let (at, kind) = self.lanes[ch].pop().expect("just peeked");
+        Some((at, ch, kind))
+    }
+
+    /// Total pending events across all lanes.
+    pub fn pending(&self) -> usize {
+        self.lanes.iter().map(EventQueue::pending).sum()
     }
 }
 
@@ -255,6 +343,47 @@ mod tests {
     fn empty_queue_next_is_after_everything() {
         let q: EventQueue<u8> = EventQueue::new();
         assert!(q.next_is_after(0));
+    }
+
+    /// `peek_at` reports the exact time `pop` would return, across all
+    /// three tiers, and never consumes the event.
+    #[test]
+    fn peek_at_is_non_consuming_and_exact() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_at(), None);
+        q.push(20_000, "wheel"); // outside the first window
+        q.push(5_000_000, "far"); // beyond the wheel horizon
+        assert_eq!(q.peek_at(), Some(20_000));
+        assert_eq!(q.peek_at(), Some(20_000), "peek is idempotent");
+        q.push(20_000, "dup"); // same time, later seq
+        assert_eq!(q.pop(), Some((20_000, "wheel")));
+        assert_eq!(q.peek_at(), Some(20_000));
+        assert_eq!(q.pop(), Some((20_000, "dup")));
+        assert_eq!(q.peek_at(), Some(5_000_000));
+        assert_eq!(q.pop(), Some((5_000_000, "far")));
+        assert_eq!(q.peek_at(), None);
+    }
+
+    /// Ties across channels break on the lowest channel index; within a
+    /// channel, insertion order wins — the `(at, channel, seq)` rule.
+    #[test]
+    fn channel_merge_orders_by_at_channel_seq() {
+        let mut m = ChannelMerge::new(3);
+        m.push(2, 100, "c2-a");
+        m.push(0, 100, "c0-a");
+        m.push(1, 100, "c1-a");
+        m.push(0, 100, "c0-b");
+        m.push(1, 50, "c1-early");
+        m.push(2, 5_000_000, "c2-far");
+        assert_eq!(m.pending(), 6);
+        assert_eq!(m.pop(), Some((50, 1, "c1-early")));
+        assert_eq!(m.pop(), Some((100, 0, "c0-a")));
+        assert_eq!(m.pop(), Some((100, 0, "c0-b")));
+        assert_eq!(m.pop(), Some((100, 1, "c1-a")));
+        assert_eq!(m.pop(), Some((100, 2, "c2-a")));
+        assert_eq!(m.pop(), Some((5_000_000, 2, "c2-far")));
+        assert_eq!(m.pop(), None);
+        assert_eq!(m.pending(), 0);
     }
 
     /// The scheduler must reproduce a plain `BinaryHeap`'s `(at, seq)` pop

@@ -65,6 +65,16 @@ impl LatencySummary {
     pub fn histogram(&self) -> &Log2Histogram {
         &self.hist
     }
+
+    /// Folds another summary in: the result is exactly the summary that
+    /// would have been produced by recording both observation streams
+    /// (count/sum/max are exact; log2 buckets add element-wise).
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.hist.merge(&other.hist);
+    }
 }
 
 /// Full report of one simulation run.
@@ -172,6 +182,61 @@ impl SimReport {
     pub fn exec_seconds(&self) -> f64 {
         self.exec_ns as f64 * 1e-9
     }
+
+    /// Folds another channel's report in: execution time is the max (the
+    /// run ends when the last channel's last core retires), counters sum,
+    /// energies sum, latency summaries merge exactly.
+    ///
+    /// Channel reports must be folded **in channel order** so the f64
+    /// energy additions associate identically on every host — this is part
+    /// of the sharded engine's bit-for-bit determinism contract.
+    pub fn merge(&mut self, other: &Self) {
+        self.exec_ns = self.exec_ns.max(other.exec_ns);
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.reads_r += other.reads_r;
+        self.reads_m += other.reads_m;
+        self.reads_rm += other.reads_rm;
+        self.untracked_reads += other.untracked_reads;
+        self.conversions += other.conversions;
+        self.read_latency.merge(&other.read_latency);
+        self.write_cancellations += other.write_cancellations;
+        self.scrubs += other.scrubs;
+        self.scrubs_skipped += other.scrubs_skipped;
+        self.scrub_rewrites += other.scrub_rewrites;
+        self.cells_written_demand += other.cells_written_demand;
+        self.cells_written_scrub += other.cells_written_scrub;
+        self.cells_written_conversion += other.cells_written_conversion;
+        self.slc_bits_written += other.slc_bits_written;
+        self.energy_read_pj += other.energy_read_pj;
+        self.energy_write_pj += other.energy_write_pj;
+        self.energy_scrub_pj += other.energy_scrub_pj;
+        self.energy_conversion_pj += other.energy_conversion_pj;
+        self.drift_errors_seen += other.drift_errors_seen;
+        self.reads_errored += other.reads_errored;
+        self.ecc_corrected_bits += other.ecc_corrected_bits;
+        self.detected_uncorrectable += other.detected_uncorrectable;
+        self.silent_corruptions += other.silent_corruptions;
+        self.corrective_rewrites += other.corrective_rewrites;
+        self.cells_written_corrective += other.cells_written_corrective;
+        self.energy_corrective_pj += other.energy_corrective_pj;
+        self.retry_latency.merge(&other.retry_latency);
+    }
+
+    /// Merges per-channel reports (in channel order) into one run report.
+    /// A single-element slice returns that report unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn merged(reports: &[Self]) -> Self {
+        let (first, rest) = reports.split_first().expect("at least one channel report");
+        let mut out = first.clone();
+        for r in rest {
+            out.merge(r);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +288,49 @@ mod tests {
         assert_eq!(s.max_ns(), u64::MAX);
         let exact = 2.0 * u64::MAX as f64 / 3.0;
         assert!((s.mean_ns() - exact).abs() / exact < 1e-12);
+    }
+
+    /// Merging two summaries equals recording the concatenated stream —
+    /// exactly, including the histogram buckets.
+    #[test]
+    fn latency_summary_merge_equals_concatenated_recording() {
+        let (mut a, mut b, mut both) =
+            (LatencySummary::default(), LatencySummary::default(), LatencySummary::default());
+        for v in [150u64, 158, 608, 1_000_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [450u64, 0, 7] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        // Merging an empty summary is the identity.
+        let before = both;
+        both.merge(&LatencySummary::default());
+        assert_eq!(both, before);
+    }
+
+    /// `SimReport::merged` of one report is that report bit-for-bit (the
+    /// single-channel invariant), and of two reports takes max exec time
+    /// and sums counters/energies.
+    #[test]
+    fn report_merge_is_identity_for_one_channel() {
+        let mut a = SimReport {
+            exec_ns: 1_000,
+            reads: 7,
+            energy_read_pj: 0.1 + 0.2, // a non-representable sum, kept exact
+            ..Default::default()
+        };
+        a.read_latency.record(158);
+        assert_eq!(SimReport::merged(std::slice::from_ref(&a)), a);
+
+        let b = SimReport { exec_ns: 900, reads: 3, energy_read_pj: 0.25, ..Default::default() };
+        let m = SimReport::merged(&[a.clone(), b]);
+        assert_eq!(m.exec_ns, 1_000);
+        assert_eq!(m.reads, 10);
+        assert_eq!(m.energy_read_pj, a.energy_read_pj + 0.25);
     }
 
     #[test]

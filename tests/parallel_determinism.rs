@@ -3,6 +3,11 @@
 //!
 //! Both runs happen inside a single `#[test]` so the `READDUO_THREADS`
 //! environment flips cannot race another test in this binary.
+//!
+//! `READDUO_CHANNELS` widens the topology (default 1), so the same gate
+//! covers the sharded engine: with N channels every matrix cell fans its
+//! channels out on the ambient pool, and the merged reports must still be
+//! identical across thread counts.
 
 use readduo::core::SchemeKind;
 use readduo::memsim::MemoryConfig;
@@ -11,11 +16,12 @@ use readduo_bench::Harness;
 
 #[test]
 fn run_matrix_is_identical_across_thread_counts() {
+    let channels = readduo_env::usize_at_least("READDUO_CHANNELS", 1).unwrap_or(1);
     let harness = Harness {
         instructions_per_core: 40_000,
         cores: 2,
         seed: 0x00D5_EAD0_2016,
-        memory: MemoryConfig::small_test(),
+        memory: MemoryConfig::small_test().with_channels(channels),
     };
     let schemes = [
         SchemeKind::Scrubbing,

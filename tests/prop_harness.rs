@@ -134,7 +134,12 @@ macro_rules! impl_shrink_tuple {
     )*};
 }
 
-impl_shrink_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2));
+impl_shrink_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
 
 /// Returns the per-property case count (`READDUO_PROP_CASES`, default 64).
 pub fn case_count() -> usize {

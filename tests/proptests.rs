@@ -12,6 +12,7 @@ use prop_harness::{check, ensure, ensure_eq, gen_bytes, gen_subset};
 use readduo::core::LwtFlags;
 use readduo::ecc::{Bch, BitVec, DecodeOutcome, GfField};
 use readduo::math::{binomial, ln_choose, LogProb};
+use readduo::memsim::{ChannelMerge, Topology};
 use readduo::pcm::state::{bytes_to_cell_data, cell_data_to_bytes};
 use readduo::trace::{read_trace, write_trace, TraceGenerator, Workload};
 use readduo_rng::Rng as _;
@@ -302,6 +303,101 @@ fn trace_stream_chunk_invariant() {
             let materialised = gen.generate(&w, instr, 2);
             let collected = gen.stream(&w, instr, 2).with_chunk(chunk).collect_trace();
             ensure_eq!(collected, materialised);
+            Ok(())
+        },
+    );
+}
+
+/// The address interleave of an arbitrary topology is bijective — every
+/// line decomposes to a valid `(channel, rank, bank, local)` placement,
+/// recomposes to itself, and no two lines share a placement — and balanced:
+/// enumerating any prefix `[0, L)` of the line space (uniform addresses)
+/// loads every `(channel, bank)` pair within one line of every other.
+#[test]
+fn topology_interleave_bijective_and_balanced() {
+    check(
+        "topology_interleave_bijective_and_balanced",
+        |rng| {
+            (
+                rng.gen_range(1usize..=8),
+                rng.gen_range(1usize..=4),
+                rng.gen_range(1usize..=8),
+                rng.gen_range(1u64..=4000),
+            )
+        },
+        |&(channels, ranks, banks_per_rank, lines)| {
+            if channels == 0 || ranks == 0 || banks_per_rank == 0 || lines == 0 {
+                return Ok(());
+            }
+            let t = Topology { channels, ranks, banks_per_rank };
+            let mut counts = vec![0u64; t.total_banks()];
+            let mut seen = std::collections::HashSet::new();
+            for line in 0..lines {
+                let a = t.decompose(line);
+                ensure!(a.channel < channels, "channel {} out of range", a.channel);
+                ensure!(a.rank < ranks, "rank {} out of range", a.rank);
+                ensure!(a.bank < banks_per_rank, "bank {} out of range", a.bank);
+                ensure_eq!(a.bank_in_channel, a.rank * banks_per_rank + a.bank);
+                ensure_eq!(t.channel_of(line), a.channel);
+                ensure_eq!(t.recompose(a.channel, a.bank_in_channel, a.local_line), line);
+                ensure!(
+                    seen.insert((a.channel, a.bank_in_channel, a.local_line)),
+                    "two lines share placement {a:?}"
+                );
+                counts[a.channel * t.banks_per_channel() + a.bank_in_channel] += 1;
+            }
+            // Exactly balanced: the stripe cycles through all banks, so any
+            // prefix loads banks within one line of each other (far inside
+            // the 1% requirement for uniform address streams).
+            let max = counts.iter().copied().max().unwrap_or(0);
+            let min = counts.iter().copied().min().unwrap_or(0);
+            ensure!(
+                max - min <= 1,
+                "bank load imbalance {max}-{min} over {lines} uniform lines"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// `ChannelMerge` pops random event soups in exact `(at, channel, seq)`
+/// order — verified against a `BinaryHeap` ordered by that key.
+#[test]
+fn channel_merge_matches_binary_heap_reference() {
+    use std::cmp::Reverse;
+    check(
+        "channel_merge_matches_binary_heap_reference",
+        |rng| {
+            let channels = rng.gen_range(1usize..=5);
+            let events: Vec<(usize, u64)> = (0..rng.gen_range(0usize..=200))
+                .map(|_| (rng.gen_range(0..channels), rng.gen_range(0u64..50_000)))
+                .collect();
+            (channels, events)
+        },
+        |(channels, events)| {
+            let channels = *channels;
+            if channels == 0 || events.iter().any(|&(ch, _)| ch >= channels) {
+                return Ok(());
+            }
+            let mut merge = ChannelMerge::new(channels);
+            let mut heap = std::collections::BinaryHeap::new();
+            let mut seq = vec![0u64; channels];
+            for (i, &(ch, at)) in events.iter().enumerate() {
+                merge.push(ch, at, i);
+                heap.push(Reverse((at, ch, seq[ch], i)));
+                seq[ch] += 1;
+            }
+            ensure_eq!(merge.pending(), events.len());
+            let mut popped = Vec::new();
+            while let Some((at, ch, kind)) = merge.pop() {
+                popped.push((at, ch, kind));
+            }
+            let mut expected = Vec::new();
+            while let Some(Reverse((at, ch, _seq, kind))) = heap.pop() {
+                expected.push((at, ch, kind));
+            }
+            ensure_eq!(popped, expected);
+            ensure_eq!(merge.pending(), 0);
             Ok(())
         },
     );
