@@ -96,13 +96,32 @@ READDUO_TELEMETRY=1 READDUO_TRACE_CAP=100000 READDUO_INSTR=20000 \
 ./target/release/trace_check "$strace" \
     --require-track "c0.bank 0" --require-track "c1.bank 0"
 
+# Perf gate: the exact fig9@10M acceptance configuration (full headline
+# matrix, streamed, one worker) under a wall-clock budget. The budget is
+# generous — several times the post-PR-8 time, and still below the PR 6
+# baseline region — so it trips on hot-path catastrophes (accidental
+# debug-path work, serialisation, allocation storms), not on container
+# noise.
+echo "==> perf gate: fig9@10M streamed matrix (budget 60 s)"
+start=$(date +%s)
+READDUO_INSTR=10000000 ./target/release/stream_smoke --matrix >/dev/null
+elapsed=$(( $(date +%s) - start ))
+echo "    fig9@10M matrix took ${elapsed}s"
+if [ "$elapsed" -gt 60 ]; then
+    echo "    FAIL: fig9@10M matrix exceeded the 60 s budget" >&2
+    exit 1
+fi
+
 # Seeded fault-injection smoke: the Monte-Carlo cross-validation binary
 # asserts empirical line-error rates stay within confidence bounds of the
 # analytic model and that the full R-fail → M-retry → ECC-correct →
 # corrective-rewrite chain resolves every read with zero silent
 # corruptions. 4000 lines per point keeps it a few seconds in release.
-echo "==> fault-injection smoke (READDUO_FAULT_MC_LINES=4000)"
-READDUO_FAULT_SEED=16384023 READDUO_FAULT_MC_LINES=4000 \
+# READDUO_BITSLICE=1 pins the run through the 64-lane bitsliced BCH
+# decoder (the default path, made explicit so CI exercises it even if the
+# default ever flips).
+echo "==> fault-injection smoke (READDUO_FAULT_MC_LINES=4000, bitsliced decode)"
+READDUO_FAULT_SEED=16384023 READDUO_FAULT_MC_LINES=4000 READDUO_BITSLICE=1 \
     ./target/release/fault_mc >/dev/null
 echo "    fault_mc assertions passed"
 

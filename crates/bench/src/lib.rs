@@ -338,16 +338,18 @@ impl Harness {
 
     /// Runs the matrix in streaming mode on an explicit pool.
     ///
-    /// Unlike [`run_matrix_on`], no workload trace is ever materialised:
-    /// the tasks share one *generator configuration* per workload (seed +
-    /// parameters, a few dozen bytes) instead of one `Arc<Trace>`, and each
-    /// (workload, scheme) task re-generates its stream chunk by chunk while
-    /// simulating. That trades repeated generation CPU (cheap — the
-    /// generator is a few RNG draws per op) for peak memory independent of
-    /// `instructions_per_core`, which is what makes paper-scale volumes
-    /// (50–100M instructions/core) runnable at all. Results are returned in
-    /// workload-major order, bit-for-bit identical to the materialised
-    /// matrix.
+    /// Peak memory stays bounded regardless of `instructions_per_core`:
+    /// workloads are processed one at a time, and a workload whose
+    /// materialised trace fits under the [`matrix_trace_budget_bytes`]
+    /// budget is generated **once** and shared across all schemes (the
+    /// per-op hot path's single biggest redundancy was re-generating the
+    /// same stream once per scheme). Above the budget the workload falls
+    /// back to true chunk-by-chunk streaming per scheme, which is what
+    /// makes paper-scale volumes (100M–1B instructions/core) runnable at
+    /// all. Either way at most one workload's trace is live at a time, and
+    /// results are returned in workload-major order, bit-for-bit identical
+    /// to the materialised matrix (pinned by `tests/stream_equivalence.rs`
+    /// and `tests/parallel_determinism.rs`).
     ///
     /// [`run_matrix_on`]: Harness::run_matrix_on
     pub fn run_matrix_streamed_on(
@@ -362,11 +364,30 @@ impl Harness {
         } else {
             &seq
         };
-        let tasks: Vec<(Workload, SchemeKind)> = workloads
-            .iter()
-            .flat_map(|w| schemes.iter().map(move |&s| (w.clone(), s)))
-            .collect();
-        pool.map(tasks, |_, (w, s)| self.run_streamed(&w, s))
+        let budget = matrix_trace_budget_bytes();
+        let mut out = Vec::with_capacity(schemes.len() * workloads.len());
+        for w in workloads {
+            if self.trace_estimate_bytes(w) <= budget {
+                let trace = self.trace_for(w);
+                out.extend(
+                    pool.map(schemes.to_vec(), |_, s| self.run_on_trace(w, &trace, s)),
+                );
+            } else {
+                out.extend(pool.map(schemes.to_vec(), |_, s| self.run_streamed(w, s)));
+            }
+        }
+        out
+    }
+
+    /// Estimated bytes a workload's materialised trace occupies: expected
+    /// op count (instruction volume × the workload's memory intensity)
+    /// times the per-record size.
+    fn trace_estimate_bytes(&self, workload: &Workload) -> u64 {
+        let ops = (self.instructions_per_core as f64
+            * self.cores as f64
+            * workload.mpki()
+            / 1000.0) as u64;
+        ops.saturating_mul(std::mem::size_of::<readduo_trace::MemOp>() as u64)
     }
 
     /// Parallel sensitivity sweep à la Figs. 12–13: one baseline scheme
@@ -445,6 +466,18 @@ pub fn finish_telemetry() {
         Ok(None) => {}
         Err(e) => eprintln!("[telemetry] export failed: {e}"),
     }
+}
+
+/// Per-workload trace-materialisation budget of the streamed matrix, in
+/// bytes (`READDUO_MATRIX_BUDGET_MB`, default 128 MB; 0 forces pure
+/// chunk-by-chunk streaming). A workload whose estimated trace fits the
+/// budget is generated once and shared across schemes instead of being
+/// re-generated per scheme — same reports either way, only the wall clock
+/// and the peak RSS differ.
+pub fn matrix_trace_budget_bytes() -> u64 {
+    readduo_env::u64_at_least("READDUO_MATRIX_BUDGET_MB", 0)
+        .unwrap_or(128)
+        .saturating_mul(1 << 20)
 }
 
 /// Whether a matrix of `tasks` (workload, scheme) pairs should fan out to

@@ -2,7 +2,7 @@
 //! policy constants of the read path.
 
 use readduo_rng::rngs::StdRng;
-use readduo_rng::SeedableRng;
+use readduo_rng::{Rng, SeedableRng};
 use readduo_math::BinomialSampler;
 use readduo_memsim::{EnergyModel, WriteOutcome};
 use readduo_pcm::{MetricConfig, SenseTiming};
@@ -52,7 +52,66 @@ pub struct DriftSampler {
     curve_m: Arc<CachedErrorCurve>,
     binomial: BinomialSampler,
     diff_binomial: BinomialSampler,
+    fast_r: FastZero,
+    fast_m: FastZero,
     rng: StdRng,
+}
+
+/// Precomputed short-circuits that let a drift draw skip the curve lookup
+/// (`log10` + interpolation + `exp`) and the binomial `powf` on the hot
+/// zero-error path, while remaining draw-for-draw identical to the plain
+/// `curve.prob` → `BinomialSampler::sample` pipeline.
+///
+/// Two mechanisms, both derived from the curve's own table at
+/// construction:
+///
+/// * ages `≤ zero_below` are certified `prob == 0.0` — `sample(p = 0)`
+///   returns 0 **without consuming randomness**, so the short-circuit
+///   must not draw either (and does not);
+/// * for ages in `[positive_from, tier.age_max]` the probability is
+///   certified in `(0, p_tier]` with `512·p_tier < 30`, exactly the
+///   regime where `sample` draws one uniform first. The tier draws that
+///   same uniform and tests it against `accept ≤ 1 - 512·p`: acceptance
+///   proves the Bernoulli bound `q⁵¹² ≥ 1 - 512·p ≥ u` holds, i.e. the
+///   full pipeline would return 0 from the same stream position. On the
+///   rare rejection the uniform is handed to
+///   [`BinomialSampler::sample_with_uniform`], which *is* the remainder
+///   of that pipeline.
+///
+/// The `1e-9` pad on each acceptance bound dwarfs the few-ulp rounding
+/// slack in the curve's age certificates; it only pushes a vanishing
+/// sliver of acceptances onto the slow (still exact) path.
+#[derive(Debug, Clone)]
+struct FastZero {
+    zero_below: f64,
+    positive_from: f64,
+    /// Ascending `(age ceiling, acceptance bound)` pairs; the first tier
+    /// covering the age is the tightest and is the one used.
+    tiers: Vec<(f64, f64)>,
+}
+
+impl FastZero {
+    /// Per-bit probability ceilings for the tiers. Tight tiers accept
+    /// ~99.9% of draws on young lines; the loosest still proves ~23% of
+    /// draws zero on lines near the scrub-interval age while costing
+    /// nothing when it fails (the uniform is reused, not redrawn).
+    const P_BIT_TIERS: [f64; 4] = [1e-6, 1e-5, 3e-4, 1.5e-3];
+
+    fn for_curve(curve: &CachedErrorCurve) -> Self {
+        let zero_below = curve.zero_age_ceiling().unwrap_or(0.0);
+        let positive_from = curve.positive_age_floor().unwrap_or(f64::INFINITY);
+        let mut tiers = Vec::new();
+        for pb in Self::P_BIT_TIERS {
+            // p_bit = prob/2, so the curve ceiling to request is 2·p_bit.
+            let Some(age_max) = curve.age_ceiling_for_prob(2.0 * pb) else {
+                continue;
+            };
+            if age_max > positive_from {
+                tiers.push((age_max, 1.0 - LINE_BITS as f64 * pb - 1e-9));
+            }
+        }
+        Self { zero_below, positive_from, tiers }
+    }
 }
 
 impl DriftSampler {
@@ -64,11 +123,17 @@ impl DriftSampler {
     /// re-integrating the drift model for each would dominate start-up —
     /// every sampler over the same metric parameters shares one table.
     pub fn new(seed: u64) -> Self {
+        let curve_r = CachedErrorCurve::shared_standard(&MetricConfig::r_metric());
+        let curve_m = CachedErrorCurve::shared_standard(&MetricConfig::m_metric());
+        let fast_r = FastZero::for_curve(&curve_r);
+        let fast_m = FastZero::for_curve(&curve_m);
         Self {
-            curve_r: CachedErrorCurve::shared_standard(&MetricConfig::r_metric()),
-            curve_m: CachedErrorCurve::shared_standard(&MetricConfig::m_metric()),
+            curve_r,
+            curve_m,
             binomial: BinomialSampler::new(LINE_BITS),
             diff_binomial: BinomialSampler::new(DATA_CELLS as u64),
+            fast_r,
+            fast_m,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -85,12 +150,42 @@ impl DriftSampler {
 
     /// Draws the R-sensed bit-error count of a line aged `age_s`.
     pub fn bit_errors_r(&mut self, age_s: f64) -> u32 {
+        if age_s <= self.fast_r.zero_below {
+            return 0;
+        }
+        if age_s >= self.fast_r.positive_from {
+            for &(age_max, accept) in &self.fast_r.tiers {
+                if age_s <= age_max {
+                    let u: f64 = self.rng.gen();
+                    if u <= accept {
+                        return 0;
+                    }
+                    let p = self.p_bit_r(age_s);
+                    return self.binomial.sample_with_uniform(u, p.min(1.0)) as u32;
+                }
+            }
+        }
         let p = self.p_bit_r(age_s);
         self.binomial.sample(&mut self.rng, p.min(1.0)) as u32
     }
 
     /// Draws the M-sensed bit-error count of a line aged `age_s`.
     pub fn bit_errors_m(&mut self, age_s: f64) -> u32 {
+        if age_s <= self.fast_m.zero_below {
+            return 0;
+        }
+        if age_s >= self.fast_m.positive_from {
+            for &(age_max, accept) in &self.fast_m.tiers {
+                if age_s <= age_max {
+                    let u: f64 = self.rng.gen();
+                    if u <= accept {
+                        return 0;
+                    }
+                    let p = self.p_bit_m(age_s);
+                    return self.binomial.sample_with_uniform(u, p.min(1.0)) as u32;
+                }
+            }
+        }
         let p = self.p_bit_m(age_s);
         self.binomial.sample(&mut self.rng, p.min(1.0)) as u32
     }

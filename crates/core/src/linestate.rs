@@ -7,59 +7,51 @@
 //! per-line jitter so ages do not align), and its LWT flags are clear
 //! (untracked).
 //!
-//! Storage is a single hash map keyed by raw line id with a fast
-//! multiply-xor hasher ([`LineHasher`] — SipHash would dominate the probe
-//! on this hot path, and HashDoS is not a threat model for a simulator
-//! hashing its own deterministic trace). Earlier revisions carried a
-//! dense direct-indexed tier sized to the workload footprint; profiling
-//! showed it lost on both ends — a multi-megabyte zeroed allocation per
-//! device at build time, and DRAM/TLB misses over a footprint-sized array
-//! at access time — while the touched set stays small enough that the hash
-//! map is cache-resident. The default materialised for a first touch is a
-//! pure function of the line id and the touch time, so storage layout can
-//! never affect simulation results, and peak memory tracks the number of
-//! *touched* lines rather than the declared footprint.
+//! Storage is a flat open-addressed table with linear probing, keyed by
+//! raw line id through a fast multiply-xor mix ([`mix`] — SipHash would
+//! dominate the probe on this hot path, and HashDoS is not a threat model
+//! for a simulator hashing its own deterministic trace). Key and state
+//! live side by side in one 32-byte slot, so a probe touches exactly one
+//! cache line — the std `HashMap` this replaced split control bytes from
+//! entries and paid two DRAM misses per cold probe at paper-scale
+//! footprints, which profiling showed was the single largest physics cost
+//! (~117 ns/read at an mcf-sized touched set). [`LineTable::prefetch`]
+//! exploits the same layout: it computes the home slot and touches that
+//! one line, so the engine's issue-ahead hint warms exactly the memory
+//! the dispatch probe will read. Earlier revisions carried a dense
+//! direct-indexed tier sized to the workload footprint; it lost on both
+//! ends (build-time zeroing, DRAM/TLB misses over a footprint-sized
+//! array). The default materialised for a first touch is a pure function
+//! of the line id and the touch time, so storage layout can never affect
+//! simulation results, and peak memory tracks the number of *touched*
+//! lines rather than the declared footprint.
 
 use crate::flags::LwtFlags;
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
 
 /// Cap on the capacity pre-reserved by [`LineTable::set_dense_region`]:
 /// enough for the largest touched set a paper-scale run produces without
 /// letting a huge declared footprint balloon the empty table.
 const RESERVE_CAP: u64 = 1 << 16;
 
-/// A multiply-xor hasher for line ids (the `finalize` step of the same
-/// SplitMix-style mix [`LineTable`] uses for per-line jitter). Not
-/// DoS-resistant — keys are simulator-generated line addresses, not
-/// attacker input.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct LineHasher(u64);
+/// Slot-array floor: small enough that an idle table stays cheap, large
+/// enough that short runs never rehash.
+const MIN_SLOTS: usize = 1 << 10;
 
-impl Hasher for LineHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
+/// Vacant-slot marker. A simulated line id of `u64::MAX` itself is legal
+/// (tests probe the top of the address space); it is carried in a
+/// dedicated side slot instead of the array.
+const EMPTY_KEY: u64 = u64::MAX;
 
-    fn write(&mut self, bytes: &[u8]) {
-        // Generic fallback (unused by u64 keys): fold 8-byte chunks.
-        for chunk in bytes.chunks(8) {
-            let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
-            self.write_u64(u64::from_le_bytes(buf));
-        }
-    }
-
-    fn write_u64(&mut self, n: u64) {
-        let mut x = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        x ^= x >> 33;
-        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-        x ^= x >> 33;
-        self.0 = x;
-    }
+/// SplitMix-style multiply-xor finalizer: slot index for a line id, and
+/// the base of the per-line jitter hash.
+#[inline]
+fn mix(line: u64) -> u64 {
+    let mut x = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x
 }
-
-type LineMap = HashMap<u64, LineState, BuildHasherDefault<LineHasher>>;
 
 /// Mutable per-line tracking state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,10 +66,40 @@ pub struct LineState {
     pub flags: LwtFlags,
 }
 
+/// One table slot: key and state side by side so a probe is one load.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: u64,
+    state: LineState,
+}
+
+impl Slot {
+    fn vacant() -> Self {
+        Slot {
+            key: EMPTY_KEY,
+            state: LineState {
+                last_full_write_s: 0.0,
+                last_scrub_s: 0.0,
+                flags: LwtFlags::new(2),
+            },
+        }
+    }
+}
+
 /// Sparse line-state table.
 #[derive(Debug, Clone)]
 pub struct LineTable {
-    map: LineMap,
+    slots: Box<[Slot]>,
+    mask: usize,
+    len: usize,
+    /// Grow when `len` reaches this (3/4 of the slot count — probe
+    /// chains stay short and, being linear, fall inside the lines the
+    /// hardware stride prefetcher is already pulling, while the array
+    /// stays half the size a 50% cap would need — the smaller footprint
+    /// wins at cache-resident and paper-scale touched sets alike).
+    grow_at: usize,
+    /// State for a line id equal to [`EMPTY_KEY`].
+    sentinel: Option<LineState>,
     k: u8,
     scrub_interval_s: f64,
     cold_age_s: f64,
@@ -100,7 +122,11 @@ impl LineTable {
         assert!(scrub_interval_s > 0.0, "scrub interval must be positive");
         assert!(cold_age_s >= 0.0, "cold age must be non-negative");
         Self {
-            map: LineMap::default(),
+            slots: vec![Slot::vacant(); MIN_SLOTS].into_boxed_slice(),
+            mask: MIN_SLOTS - 1,
+            len: 0,
+            grow_at: MIN_SLOTS - MIN_SLOTS / 4,
+            sentinel: None,
             k,
             scrub_interval_s,
             cold_age_s,
@@ -119,11 +145,20 @@ impl LineTable {
     }
 
     /// Sizing hint: the workload touches on the order of `lines` distinct
-    /// lines. Pre-reserves hash capacity (capped at [`RESERVE_CAP`]
-    /// entries) so steady-state insertion never rehashes mid-run. Storage
-    /// is touched-proportional either way; the hint only smooths growth.
+    /// lines. Pre-sizes the slot array (capped at [`RESERVE_CAP`] entries)
+    /// so steady-state insertion never rehashes mid-run. Storage is
+    /// touched-proportional either way; the hint only smooths growth.
     pub fn set_dense_region(&mut self, lines: u64) {
-        self.map.reserve(lines.min(RESERVE_CAP) as usize);
+        let entries = lines.min(RESERVE_CAP) as usize;
+        // Smallest power-of-two slot count whose 3/4 growth threshold
+        // covers the hinted entry count.
+        let mut want = MIN_SLOTS;
+        while want - want / 4 < entries {
+            want *= 2;
+        }
+        if want > self.slots.len() {
+            self.resize(want);
+        }
     }
 
     /// Makes cold lines default to "fully written at their last scrub" —
@@ -136,7 +171,7 @@ impl LineTable {
 
     /// Number of lines with materialised state.
     pub fn touched(&self) -> usize {
-        self.map.len()
+        self.len + usize::from(self.sentinel.is_some())
     }
 
     /// Scrub interval `S`.
@@ -151,11 +186,7 @@ impl LineTable {
 
     /// Deterministic per-line phase jitter in `[0, 1)` (hash of the id).
     fn jitter(line: u64) -> f64 {
-        let mut x = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        x ^= x >> 33;
-        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-        x ^= x >> 33;
-        (x >> 11) as f64 / (1u64 << 53) as f64
+        (mix(line) >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// The deterministic first-touch default for `line` at `now_s` — a
@@ -212,12 +243,45 @@ impl LineTable {
         }
     }
 
+    /// Doubles (or pre-sizes) the slot array and re-places every occupied
+    /// slot. Values move verbatim; placement is invisible to callers.
+    fn resize(&mut self, new_slots: usize) {
+        debug_assert!(new_slots.is_power_of_two() && new_slots > self.slots.len());
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![Slot::vacant(); new_slots].into_boxed_slice(),
+        );
+        self.mask = new_slots - 1;
+        self.grow_at = new_slots - new_slots / 4;
+        for slot in old.iter().filter(|s| s.key != EMPTY_KEY) {
+            let mut i = (mix(slot.key) as usize) & self.mask;
+            while self.slots[i].key != EMPTY_KEY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = *slot;
+        }
+    }
+
+    /// Linear probe from `line`'s home slot: index of its slot, or of the
+    /// first vacancy. Terminates because load never reaches 100%.
+    #[inline]
+    fn probe(&self, line: u64) -> usize {
+        let mut i = (mix(line) as usize) & self.mask;
+        loop {
+            let key = self.slots[i].key;
+            if key == line || key == EMPTY_KEY {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
     /// The state of `line`, materialising the cold default on first touch.
     ///
     /// Cold default: last full write `cold_age_s·(1 + jitter)` before time
     /// 0; last scrub within the past interval (the scrub engine visits
-    /// every line once per `S`); flags clear. One hash probe on the warm
-    /// path.
+    /// every line once per `S`); flags clear. One slot probe — one cache
+    /// line — on the warm path.
     pub fn get_mut(&mut self, line: u64, now_s: f64) -> &mut LineState {
         let (k, s, cold, at_scrub, warm) = (
             self.k,
@@ -226,9 +290,40 @@ impl LineTable {
             self.cold_at_scrub,
             self.warm_boundary,
         );
-        self.map
-            .entry(line)
-            .or_insert_with(|| Self::default_state(k, s, cold, at_scrub, warm, line, now_s))
+        if line == EMPTY_KEY {
+            return self.sentinel.get_or_insert_with(|| {
+                Self::default_state(k, s, cold, at_scrub, warm, line, now_s)
+            });
+        }
+        if self.len >= self.grow_at {
+            self.resize(self.slots.len() * 2);
+        }
+        let i = self.probe(line);
+        if self.slots[i].key != line {
+            self.slots[i] = Slot {
+                key: line,
+                state: Self::default_state(k, s, cold, at_scrub, warm, line, now_s),
+            };
+            self.len += 1;
+        }
+        &mut self.slots[i].state
+    }
+
+    /// Pulls `line`'s home slot toward the cache ahead of a dispatch the
+    /// engine has already committed to.
+    ///
+    /// Read-only: a miss does **not** materialise the cold default (that
+    /// still happens in [`Self::get_mut`] at dispatch, with the dispatch
+    /// timestamp), so prefetching can never change simulated state — only
+    /// the host-side latency of the probe that follows. The touch is a
+    /// single dependency-free load of the home slot's key, issued early
+    /// enough that the out-of-order window overlaps the DRAM fill with
+    /// the other cores' events between here and dispatch; `black_box`
+    /// keeps the optimiser from dropping the otherwise-unused read.
+    #[inline]
+    pub fn prefetch(&self, line: u64) {
+        let i = (mix(line) as usize) & self.mask;
+        std::hint::black_box(self.slots[i].key);
     }
 
     /// The LWT sub-interval a time belongs to, relative to the line's last
@@ -308,13 +403,14 @@ mod tests {
     #[test]
     fn sizing_hint_never_changes_state() {
         // Identical defaults and mutations with and without the capacity
-        // hint, including lines far past the hinted region.
+        // hint, including lines far past the hinted region and the
+        // sentinel-adjacent top of the address space.
         let mut plain = LineTable::new(4, 640.0, 1e6);
         plain.set_warm_region(50);
         let mut hinted = LineTable::new(4, 640.0, 1e6);
         hinted.set_warm_region(50);
         hinted.set_dense_region(100);
-        for line in [0u64, 7, 49, 50, 99, 100, 5000, u64::MAX - 3] {
+        for line in [0u64, 7, 49, 50, 99, 100, 5000, u64::MAX - 3, u64::MAX] {
             assert_eq!(
                 *plain.get_mut(line, 123.0),
                 *hinted.get_mut(line, 123.0),
@@ -336,32 +432,52 @@ mod tests {
         t.set_dense_region(100_000_000);
         assert_eq!(t.touched(), 0);
         assert!(
-            t.map.capacity() <= 2 * RESERVE_CAP as usize,
-            "hint over-reserved: {}",
-            t.map.capacity()
+            t.grow_at <= 2 * RESERVE_CAP as usize,
+            "hint over-reserved: {} entries",
+            t.grow_at
         );
         t.get_mut(0, 1.0);
         t.get_mut(99_999_999, 1.0);
         t.get_mut(0, 2.0);
         assert_eq!(t.touched(), 2);
+        assert_eq!(t.get_mut(0, 5.0).last_full_write_s, {
+            let mut fresh = LineTable::new(4, 640.0, 1e6);
+            fresh.get_mut(0, 1.0).last_full_write_s
+        });
     }
 
     #[test]
-    fn line_hasher_mixes_u64_keys() {
-        // Sequential line ids (the common address pattern) must spread
-        // across the hash range instead of clustering.
-        let mut seen = std::collections::HashSet::new();
-        for line in 0u64..1000 {
-            let mut h = LineHasher::default();
-            h.write_u64(line);
-            seen.insert(h.finish() >> 48);
+    fn survives_growth_across_many_inserts() {
+        // Push far past MIN_SLOTS so several rehashes run, then verify
+        // every entry kept its (mutated) state and collides with nothing.
+        let mut t = LineTable::new(2, 640.0, 1e6);
+        let n = 40_000u64;
+        for line in 0..n {
+            t.get_mut(line * 7 + 1, 1.0).last_full_write_s = line as f64;
         }
-        assert!(seen.len() > 900, "top bits collide: {}", seen.len());
-        // The byte-slice fallback agrees with the u64 path for 8-byte keys.
-        let mut a = LineHasher::default();
-        a.write_u64(0x0123_4567_89AB_CDEF);
-        let mut b = LineHasher::default();
-        b.write(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
-        assert_eq!(a.finish(), b.finish());
+        assert_eq!(t.touched(), n as usize);
+        for line in 0..n {
+            assert_eq!(
+                t.get_mut(line * 7 + 1, 2.0).last_full_write_s,
+                line as f64,
+                "entry lost or corrupted across rehash"
+            );
+        }
+    }
+
+    #[test]
+    fn mix_spreads_sequential_lines() {
+        // Sequential line ids (the common address pattern) must spread
+        // across the hash range instead of clustering, in both the top
+        // bits and the slot-index (low) bits.
+        let mut top = std::collections::HashSet::new();
+        let mut low = std::collections::HashSet::new();
+        for line in 0u64..1000 {
+            let h = mix(line);
+            top.insert(h >> 48);
+            low.insert(h & (MIN_SLOTS as u64 - 1));
+        }
+        assert!(top.len() > 900, "top bits collide: {}", top.len());
+        assert!(low.len() > 600, "slot-index bits collide: {}", low.len());
     }
 }

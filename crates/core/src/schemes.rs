@@ -192,6 +192,10 @@ impl DeviceModel for ScrubbingScheme {
     fn scrub_interval_s(&self) -> Option<f64> {
         Some(self.interval_s)
     }
+
+    fn prefetch_line(&mut self, line: u64) {
+        self.table.prefetch(line);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -279,6 +283,10 @@ impl DeviceModel for MMetricScheme {
 
     fn scrub_interval_s(&self) -> Option<f64> {
         Some(self.interval_s)
+    }
+
+    fn prefetch_line(&mut self, line: u64) {
+        self.table.prefetch(line);
     }
 }
 
@@ -470,6 +478,10 @@ impl DeviceModel for HybridScheme {
 
     fn scrub_interval_s(&self) -> Option<f64> {
         Some(self.interval_s)
+    }
+
+    fn prefetch_line(&mut self, line: u64) {
+        self.table.prefetch(line);
     }
 }
 
@@ -706,6 +718,10 @@ impl DeviceModel for LwtScheme {
 
     fn scrub_interval_s(&self) -> Option<f64> {
         Some(self.interval_s)
+    }
+
+    fn prefetch_line(&mut self, line: u64) {
+        self.table.prefetch(line);
     }
 }
 

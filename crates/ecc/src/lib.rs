@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod bch;
+pub mod bitslice;
 pub mod bitvec;
 pub mod gf;
 pub mod parity;
@@ -49,6 +50,7 @@ pub mod poly;
 pub mod secded;
 
 pub use bch::{Bch, DecodeOutcome, PatternOutcome};
+pub use bitslice::{BchBitslice, LANES as BITSLICE_LANES};
 pub use bitvec::BitVec;
 pub use gf::GfField;
 pub use parity::InterleavedParity;

@@ -164,6 +164,24 @@ pub fn recognized() -> &'static [EnvVar] {
             default: "262144",
             doc: "Bounded ring capacity (events) of the telemetry trace buffer",
         },
+        EnvVar {
+            name: "READDUO_MATRIX_BUDGET_MB",
+            kind: EnvKind::Count { min: 0 },
+            default: "128",
+            doc: "Per-workload trace-materialisation budget (MB) in streamed matrices; 0 streams everything",
+        },
+        EnvVar {
+            name: "READDUO_ARENA_CAP",
+            kind: EnvKind::Count { min: 1 },
+            default: "4096",
+            doc: "Pre-reserved steady-state pool capacity (events / queue slots) per engine",
+        },
+        EnvVar {
+            name: "READDUO_BITSLICE",
+            kind: EnvKind::Flag,
+            default: "1",
+            doc: "Use the bitsliced 64-lane BCH decoder in fault injection (0 forces the scalar oracle)",
+        },
     ];
     VARS
 }

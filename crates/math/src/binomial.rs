@@ -110,15 +110,21 @@ pub fn ln_pmf(n: u64, p: f64, k: u64) -> f64 {
 /// let x = sampler.sample(&mut rng, 0.01);
 /// assert!(x <= 256);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BinomialSampler {
     n: u64,
+    // Precomputed pmf-ratio factors (n-k)/(k+1) for the inversion loop:
+    // the same quotients the loop would divide out per iteration, so the
+    // sequence of pmf values — and thus every sample — is bit-identical.
+    // Shared, because the sampler is cloned per (scheme, workload) device.
+    step: std::sync::Arc<[f64]>,
 }
 
 impl BinomialSampler {
     /// Creates a sampler for a fixed number of trials.
     pub fn new(n: u64) -> Self {
-        Self { n }
+        let step: Vec<f64> = (0..n).map(|k| (n - k) as f64 / (k + 1) as f64).collect();
+        Self { n, step: step.into() }
     }
 
     /// Number of trials.
@@ -150,18 +156,71 @@ impl BinomialSampler {
     fn sample_inversion<R: readduo_rng::Rng + ?Sized>(&self, rng: &mut R, p: f64) -> u64 {
         // Sequential search from k=0: pmf(0) = q^n, pmf ratio
         // pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/q.
+        //
         let q = 1.0 - p;
-        let mut pmf = q.powf(self.n as f64);
-        if pmf == 0.0 {
-            // q^n underflowed (huge n·p); fall back to normal approximation.
-            return self.sample_normal(rng, p);
+        if p >= 0.5 {
+            // q^n can underflow here (tiny q with a small n keeps the mean
+            // under 30); keep the original order — powf, underflow check,
+            // then the uniform — so the normal-approximation fallback's
+            // RNG consumption is exactly what it always was.
+            let pmf = q.powf(self.n as f64);
+            if pmf == 0.0 {
+                return self.sample_normal(rng, p);
+            }
+            let u: f64 = rng.gen();
+            return self.search(u, pmf, p, q);
         }
-        let mut cdf = pmf;
+        // p < 0.5 with n·p < 30: the single uniform can be drawn first
+        // (powf consumes no randomness — the reorder cannot perturb the
+        // stream); the rest of the draw is shared with the caller-supplied
+        // uniform entry point below.
         let u: f64 = rng.gen();
+        self.sample_with_uniform(u, p)
+    }
+
+    /// Completes an inversion draw whose single uniform `u` the caller has
+    /// already taken from the stream.
+    ///
+    /// This is the tail of [`sample`] for the regime `0 < p < 0.5` with
+    /// `n·p < 30`: given the same `u` that `sample` would have drawn, it
+    /// returns the identical value, so callers may pull the uniform early
+    /// — e.g. to test it against a precomputed acceptance bound that
+    /// proves the draw is 0 before `p` itself is even computed. In that
+    /// regime `q^n ≥ e^{-2n·p} > e^{-60}` never underflows, and the
+    /// Bernoulli bound `q^n ≥ 1 - n·p` means `u ≤ 1 - n·p` already proves
+    /// `u ≤ pmf(0) = cdf(0)`: the search stops at `k = 0` without
+    /// evaluating the powf. Young lines have `n·p ≪ 1`, so the
+    /// overwhelmingly common zero-error draw skips the transcendental
+    /// entirely; the exit is exact, not approximate.
+    ///
+    /// Callers must guarantee the preconditions (debug-asserted): outside
+    /// them `sample` dispatches differently (no draw at `p = 0`, normal
+    /// approximation at large means, underflow fallback at `p ≥ 0.5`) and
+    /// equivalence breaks.
+    ///
+    /// [`sample`]: BinomialSampler::sample
+    pub fn sample_with_uniform(&self, u: f64, p: f64) -> u64 {
+        debug_assert!(
+            p > 0.0 && p < 0.5 && self.n as f64 * p < 30.0,
+            "sample_with_uniform precondition violated: n={} p={p}",
+            self.n
+        );
+        if u <= 1.0 - self.n as f64 * p {
+            return 0;
+        }
+        let q = 1.0 - p;
+        let pmf = q.powf(self.n as f64);
+        self.search(u, pmf, p, q)
+    }
+
+    /// The sequential CDF search of the inversion sampler, shared by both
+    /// draw orders above.
+    fn search(&self, u: f64, mut pmf: f64, p: f64, q: f64) -> u64 {
+        let mut cdf = pmf;
         let ratio = p / q;
         let mut k = 0u64;
         while u > cdf && k < self.n {
-            pmf *= (self.n - k) as f64 / (k + 1) as f64 * ratio;
+            pmf *= self.step[k as usize] * ratio;
             k += 1;
             cdf += pmf;
             // Guard against floating-point stagnation in the extreme tail.

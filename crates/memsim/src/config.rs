@@ -128,7 +128,28 @@ impl Topology {
     /// Channel servicing `line`. Equals `decompose(line).channel` — the
     /// stripe index modulo the channel count reduces to `line % channels`.
     pub fn channel_of(&self, line: u64) -> usize {
-        (line % self.channels as u64) as usize
+        let ch = self.channels as u64;
+        if ch.is_power_of_two() {
+            (line & (ch - 1)) as usize
+        } else {
+            (line % ch) as usize
+        }
+    }
+
+    /// Bank within its channel servicing `line`. Equals
+    /// `decompose(line).bank_in_channel`, strength-reduced for the
+    /// power-of-two bank and channel counts every stock configuration
+    /// uses: the engine calls this once per dispatched op, and two 64-bit
+    /// divisions were measurable there next to a shift and a mask.
+    #[inline]
+    pub fn bank_in_channel_of(&self, line: u64) -> usize {
+        let cb = self.total_banks() as u64;
+        let ch = self.channels as u64;
+        if cb.is_power_of_two() && ch.is_power_of_two() {
+            ((line & (cb - 1)) >> ch.trailing_zeros()) as usize
+        } else {
+            ((line % cb) / ch) as usize
+        }
     }
 
     /// Full placement of `line` under the interleave.
@@ -255,8 +276,9 @@ impl MemoryConfig {
     }
 
     /// Bank-within-channel servicing a line (line-interleaved mapping).
+    #[inline]
     pub fn bank_of(&self, line: u64) -> usize {
-        self.topology.decompose(line).bank_in_channel
+        self.topology.bank_in_channel_of(line)
     }
 
     /// Validates internal consistency.
@@ -283,6 +305,34 @@ impl Default for MemoryConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bank_in_channel_of_matches_decompose() {
+        // The strength-reduced fast path must agree with the reference
+        // decomposition on power-of-two topologies (where the shift/mask
+        // branch runs) and on odd ones (where it falls back to division).
+        let topos = [
+            Topology::single_channel(1, 8),
+            Topology::single_channel(2, 4),
+            Topology { channels: 4, ranks: 1, banks_per_rank: 8 },
+            Topology { channels: 3, ranks: 1, banks_per_rank: 5 },
+            Topology { channels: 2, ranks: 3, banks_per_rank: 1 },
+        ];
+        for t in topos {
+            for line in (0u64..4096).chain([u64::MAX - 7, u64::MAX]) {
+                assert_eq!(
+                    t.bank_in_channel_of(line),
+                    t.decompose(line).bank_in_channel,
+                    "topology {t:?} line {line}"
+                );
+                assert_eq!(
+                    t.channel_of(line),
+                    t.decompose(line).channel,
+                    "topology {t:?} line {line}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn paper_config_is_valid() {

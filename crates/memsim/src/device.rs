@@ -114,6 +114,16 @@ pub trait DeviceModel {
     /// Scrub interval `S` in seconds, or `None` when the scheme does not
     /// scrub (Ideal, TLC).
     fn scrub_interval_s(&self) -> Option<f64>;
+
+    /// Hints that `line` will be dispatched to this device shortly.
+    ///
+    /// The engine knows an op's line one full scheduling round before it
+    /// dispatches (other cores' events run in between), so stateful schemes
+    /// can pull their per-line tracking entry into cache while the miss
+    /// latency is hidden. Implementations MUST NOT change any simulated
+    /// state — the hint may be issued for ops that stall or arrive later
+    /// than expected, and results must be identical with or without it.
+    fn prefetch_line(&mut self, _line: u64) {}
 }
 
 /// Boxed devices forward to their contents, so `Box<dyn DeviceModel>` —
@@ -134,6 +144,10 @@ impl<T: DeviceModel + ?Sized> DeviceModel for Box<T> {
 
     fn scrub_interval_s(&self) -> Option<f64> {
         (**self).scrub_interval_s()
+    }
+
+    fn prefetch_line(&mut self, line: u64) {
+        (**self).prefetch_line(line)
     }
 }
 

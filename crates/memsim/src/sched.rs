@@ -95,10 +95,19 @@ impl<K> Default for EventQueue<K> {
 impl<K> EventQueue<K> {
     /// Creates an empty queue with its window at time zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with `cap` entries pre-reserved across the
+    /// tiers (the engine's steady-state arena): the current-window and
+    /// overflow heaps each hold `cap`, every wheel bucket `cap / 256`.
+    /// With `cap` at or above the run's event high-water mark, no tier
+    /// ever reallocates — the steady-state loop allocates nothing.
+    pub fn with_capacity(cap: usize) -> Self {
         Self {
-            cur: BinaryHeap::new(),
-            wheel: (0..BUCKETS).map(|_| Vec::new()).collect(),
-            overflow: BinaryHeap::new(),
+            cur: BinaryHeap::with_capacity(cap),
+            wheel: (0..BUCKETS).map(|_| Vec::with_capacity(cap / BUCKETS)).collect(),
+            overflow: BinaryHeap::with_capacity(cap),
             bucket_start: 0,
             wheel_len: 0,
             len: 0,

@@ -69,6 +69,39 @@ pub fn drift_exponent(t: f64, t0: f64) -> f64 {
     (t.max(t0) / t0).log10()
 }
 
+/// [`log_metric_at`] with the drift exponent `u = log10(t.max(t0)/t0)`
+/// already in hand.
+///
+/// Every cell of a line shares one elapsed time, so callers hoist the
+/// `log10` out of the per-cell loop via [`drift_exponent`] and pay it once
+/// per line instead of once per cell. The result is bit-identical:
+/// `log_metric_at` computes exactly `log_x0 + alpha * u` from the same
+/// `u`.
+#[inline]
+pub fn log_metric_at_u(log_x0: f64, alpha: f64, u: f64) -> f64 {
+    log_x0 + alpha * u
+}
+
+/// Batched [`log_metric_at_u`]: drifts a whole line's cells in one
+/// slice-in/slice-out pass.
+///
+/// The loop body is a bare multiply-add over parallel slices — no
+/// branches, no `Option`s — so the compiler autovectorises it. Each
+/// element is bit-identical to the scalar call (`mul_add` fusion is never
+/// emitted for `a + b * c` on its own; the expression rounds twice in
+/// both forms).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn log_metric_at_slice(log_x0s: &[f64], alphas: &[f64], u: f64, out: &mut [f64]) {
+    assert_eq!(log_x0s.len(), alphas.len(), "slice length mismatch");
+    assert_eq!(log_x0s.len(), out.len(), "slice length mismatch");
+    for ((o, &x0), &a) in out.iter_mut().zip(log_x0s).zip(alphas) {
+        *o = x0 + a * u;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

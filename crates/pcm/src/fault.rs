@@ -18,7 +18,7 @@
 //! A consequence worth testing: any cell that misreads under the M-metric
 //! also misreads under the R-metric — escalation can only help.
 
-use crate::drift::log_metric_at;
+use crate::drift::{drift_exponent, log_metric_at_u};
 use crate::params::{MetricConfig, PROGRAM_WIDTH_SIGMAS};
 use crate::state::CellLevel;
 use readduo_math::{Normal, TruncatedNormal};
@@ -124,18 +124,18 @@ impl FaultModel {
     }
 
     /// Whether a cell programmed to `level` can possibly misread under
-    /// `cfg` at `age_s`, given the most adverse draws the model (and the
-    /// analytic integration it is validated against) considers: the
-    /// programmed value at the top of the verify window and the drift
-    /// coefficient `10σ_α` above its mean.
-    fn level_can_cross(cfg: &MetricConfig, level: CellLevel, age_s: f64) -> bool {
+    /// `cfg` after drifting by the exponent `u = log10(t/t0)`, given the
+    /// most adverse draws the model (and the analytic integration it is
+    /// validated against) considers: the programmed value at the top of
+    /// the verify window and the drift coefficient `10σ_α` above its mean.
+    fn level_can_cross(cfg: &MetricConfig, level: CellLevel, u: f64) -> bool {
         let Some(boundary) = cfg.reference_above(level) else {
             return false; // top level: drift has nowhere to go
         };
         let lp = cfg.level(level);
         let x0_max = lp.mu + PROGRAM_WIDTH_SIGMAS * lp.sigma;
         let alpha_max = (lp.mu_alpha + ALPHA_TAIL_SIGMAS * lp.sigma_alpha).max(0.0);
-        log_metric_at(x0_max, alpha_max, age_s, cfg.t0()) > boundary
+        log_metric_at_u(x0_max, alpha_max, u) > boundary
     }
 
     /// Samples the fault pattern of one `cells`-cell line read at `age_s`
@@ -148,12 +148,17 @@ impl FaultModel {
     /// randomness*, so fault-free epochs cost nothing and perturb no
     /// downstream draws.
     pub fn sample_line<R: Rng + ?Sized>(&self, age_s: f64, cells: u32, rng: &mut R) -> LineFaults {
+        // One elapsed time covers the whole line (and both metrics share
+        // t0), so the log10 is paid once here instead of once per cell.
+        // `log_metric_at(x0, a, t, t0) == x0 + a * drift_exponent(t, t0)`
+        // bit for bit — same u, same expression.
+        let u = drift_exponent(age_s, self.r.t0());
         let mut can_cross_r = [false; 4];
         let mut any = false;
         for level in CellLevel::ALL {
             // M crossings are a subset of R crossings (same z, α/7), so
             // the R precheck covers both metrics.
-            let c = Self::level_can_cross(&self.r, level, age_s);
+            let c = Self::level_can_cross(&self.r, level, u);
             can_cross_r[level.index()] = c;
             any |= c;
         }
@@ -168,13 +173,13 @@ impl FaultModel {
             }
             let z = self.z_programmed.sample(rng);
             let za = self.z_alpha.sample(rng);
-            let sensed_r = self.sense_one(&self.r, level, z, za, age_s);
+            let sensed_r = self.sense_one(&self.r, level, z, za, u);
             if sensed_r == level {
                 continue; // M cannot misread if R did not
             }
             push_cell_bits(&mut faults.r_bits, cell, level, sensed_r);
             faults.r_cells += 1;
-            let sensed_m = self.sense_one(&self.m, level, z, za, age_s);
+            let sensed_m = self.sense_one(&self.m, level, z, za, u);
             if sensed_m != level {
                 push_cell_bits(&mut faults.m_bits, cell, level, sensed_m);
                 faults.m_cells += 1;
@@ -183,19 +188,20 @@ impl FaultModel {
         faults
     }
 
-    /// Drifts one cell's shared deviates through `cfg` and senses it.
+    /// Drifts one cell's shared deviates through `cfg` by the hoisted
+    /// exponent `u` and senses it.
     fn sense_one(
         &self,
         cfg: &MetricConfig,
         level: CellLevel,
         z: f64,
         za: f64,
-        age_s: f64,
+        u: f64,
     ) -> CellLevel {
         let lp = cfg.level(level);
         let x0 = lp.mu + z * lp.sigma;
         let alpha = (lp.mu_alpha + za * lp.sigma_alpha).max(0.0);
-        cfg.sense_level(log_metric_at(x0, alpha, age_s, cfg.t0()))
+        cfg.sense_level(log_metric_at_u(x0, alpha, u))
     }
 }
 

@@ -50,7 +50,7 @@ pub mod state;
 pub mod tlc;
 
 pub use cell::MlcCell;
-pub use drift::{log_metric_at, time_to_cross};
+pub use drift::{drift_exponent, log_metric_at, log_metric_at_slice, log_metric_at_u, time_to_cross};
 pub use fault::{FaultModel, LineFaults};
 pub use iv::{IvCurve, ReadBias};
 pub use line::{MlcLine, SensedLine};

@@ -211,6 +211,90 @@ impl CachedErrorCurve {
         }
         (a + (b - a) * frac).exp()
     }
+
+    /// Evaluates [`prob`] for a batch of ages into `out`.
+    ///
+    /// Bit-identical to calling `prob` element-wise; the slice form exists
+    /// so hot loops evaluating a whole line's worth of ages keep the table
+    /// fields in registers and let the compiler unroll.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    ///
+    /// [`prob`]: CachedErrorCurve::prob
+    pub fn prob_slice(&self, ages_s: &[f64], out: &mut [f64]) {
+        assert_eq!(ages_s.len(), out.len(), "slice length mismatch");
+        for (o, &t) in out.iter_mut().zip(ages_s) {
+            *o = self.prob(t);
+        }
+    }
+
+    /// The grid index ending the longest prefix of knots satisfying
+    /// `pred`, or `None` if even the first knot fails.
+    fn prefix_end(&self, pred: impl Fn(f64) -> bool) -> Option<usize> {
+        let mut end = None;
+        for (i, &lp) in self.ln_p.iter().enumerate() {
+            if !pred(lp) {
+                break;
+            }
+            end = Some(i);
+        }
+        end
+    }
+
+    /// The age whose grid position is `pos`. Bound helpers call this at
+    /// half-integer positions so the half-step margin absorbs the rounding
+    /// of `log10`/`powf` on the way in and out.
+    fn age_at_pos(&self, pos: f64) -> f64 {
+        10f64.powf(self.log_t_min + pos * self.step)
+    }
+
+    /// Largest age at which the interpolated curve is **guaranteed** to
+    /// evaluate to exactly `0.0`, or `None` if no such age exists.
+    ///
+    /// Within the returned bound every [`prob`] call lands on the leading
+    /// run of `-inf` knots (the interpolation of two exact zeros is an
+    /// exact zero), so a caller may skip the evaluation — and, crucially,
+    /// skip any random draw a zero probability would have skipped —
+    /// without changing behaviour. Conservative by half a grid step.
+    ///
+    /// [`prob`]: CachedErrorCurve::prob
+    pub fn zero_age_ceiling(&self) -> Option<f64> {
+        let z = self.prefix_end(|lp| lp == f64::NEG_INFINITY)?;
+        Some(self.age_at_pos(z as f64 - 0.5))
+    }
+
+    /// Smallest age from which the interpolated curve is **guaranteed**
+    /// strictly positive, or `None` if the table never certifies it.
+    ///
+    /// Guaranteed means every knot the interpolation can touch at such
+    /// ages holds `ln p ≥ -700`, comfortably above `exp` underflow
+    /// (`≈ -745.1`), so the interpolated `exp` cannot round to `0.0`.
+    /// Conservative by half a grid step.
+    pub fn positive_age_floor(&self) -> Option<f64> {
+        let n = self.ln_p.len();
+        // Smallest index from which *every* knot to the right is ≥ -700.
+        let first_good = (0..n).rev().take_while(|&i| self.ln_p[i] >= -700.0).last()?;
+        Some(self.age_at_pos(first_good as f64 + 0.5))
+    }
+
+    /// Largest age below which [`prob`] is guaranteed `≤ p_max` — up to a
+    /// few ulps of `exp`/interpolation rounding — or `None` if even the
+    /// youngest tabulated knot exceeds the ceiling.
+    ///
+    /// Callers that turn the ceiling into a hard comparison bound (e.g.
+    /// an acceptance threshold proving a binomial draw is zero) must pad
+    /// by a margin dwarfing that rounding; `1e-9` absolute is orders of
+    /// magnitude more than enough.
+    ///
+    /// [`prob`]: CachedErrorCurve::prob
+    pub fn age_ceiling_for_prob(&self, p_max: f64) -> Option<f64> {
+        assert!(p_max > 0.0, "p_max must be positive, got {p_max}");
+        let ln_max = p_max.ln();
+        let m = self.prefix_end(|lp| lp <= ln_max)?;
+        Some(self.age_at_pos(m as f64 - 0.5))
+    }
 }
 
 #[cfg(test)]

@@ -190,6 +190,7 @@ mod tests {
 
     #[test]
     fn rendered_trace_roundtrips_through_the_checker() {
+        let _serial = crate::test_serial::guard();
         crate::set_enabled(true);
         let mut t = SimTrace::begin("roundtrip/run").expect("enabled");
         t.name_track(0, "bank 0".into());

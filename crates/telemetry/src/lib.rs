@@ -71,11 +71,27 @@ pub fn set_enabled(on: bool) {
 }
 
 #[cfg(test)]
+pub(crate) mod test_serial {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The enable flag and the trace/metrics registries are process-global
+    /// while the test harness is threaded; any test that toggles the flag
+    /// or drains global state holds this lock so a concurrent
+    /// `set_enabled(false)` cannot silently drop another test's updates.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn guard() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn programmatic_override_wins() {
+        let _serial = crate::test_serial::guard();
         set_enabled(true);
         assert!(enabled());
         set_enabled(false);

@@ -3,12 +3,17 @@
 //! Writes land in a **per-thread shard** (a plain `thread_local!` map, no
 //! locking, no atomics), so the sweep pool's workers instrument their hot
 //! loops without ever contending. Shards merge into the global registry
-//! in exactly two places: when their thread exits (the thread-local's
-//! destructor) and when the owning thread takes a [`snapshot`]. The
-//! visibility contract follows from that: a snapshot sees the global
-//! registry — every *finished* thread plus the calling thread — which is
-//! precisely what the bench binaries need, since they snapshot on the
-//! main thread after the pool's scoped workers have joined.
+//! in exactly three places: when their thread exits (the thread-local's
+//! destructor), when the owning thread calls [`flush`], and when the
+//! owning thread takes a [`snapshot`]. The visibility contract follows
+//! from that: a snapshot sees the global registry — every flushed or
+//! finished thread plus the calling thread.
+//!
+//! Scoped-thread caveat: `std::thread::scope` unblocks as soon as every
+//! closure *returns*, which is before the threads' TLS destructors run —
+//! so a worker that relies on the exit-time merge can lose a race against
+//! a snapshot taken right after the scope. Scoped workers must call
+//! [`flush`] as the last thing in their closure (the sweep pool does).
 //!
 //! All entry points are no-ops while telemetry is disabled, so the
 //! instrumented code paths cost a load-and-branch in the default
@@ -145,15 +150,25 @@ pub fn hist_merge(name: &str, h: &Log2Histogram) {
     });
 }
 
-/// Flushes the calling thread's shard and returns a copy of the global
-/// registry: every finished thread plus the caller.
-pub fn snapshot() -> MetricsMap {
+/// Merges the calling thread's shard into the global registry now.
+///
+/// Scoped-thread workers call this as the last statement of their
+/// closure: the scope unblocks before TLS destructors run, so the
+/// exit-time merge alone is not ordered before a snapshot taken right
+/// after the scope joins.
+pub fn flush() {
     SHARD.with(|s| {
         let map = std::mem::take(&mut s.borrow_mut().map);
         if !map.is_empty() {
             merge_into_global(map);
         }
     });
+}
+
+/// Flushes the calling thread's shard and returns a copy of the global
+/// registry: every flushed or finished thread plus the caller.
+pub fn snapshot() -> MetricsMap {
+    flush();
     global().lock().expect("metrics registry poisoned").clone()
 }
 
@@ -204,10 +219,15 @@ mod tests {
     use super::*;
 
     // The registry is process-global and the test harness is threaded, so
-    // every test below uses its own metric names; `reset` is only called
-    // from this one serial test to keep interference structured.
+    // every test below uses its own metric names — and every test that
+    // toggles the global enable flag holds `test_serial::guard`, since a
+    // concurrent `set_enabled(false)` would silently drop another test's
+    // updates.
+    use crate::test_serial::guard as enable_guard;
+
     #[test]
     fn disabled_mode_is_a_no_op() {
+        let _serial = enable_guard();
         crate::set_enabled(false);
         counter_add("t.disabled.counter", 5);
         hist_record("t.disabled.hist", 42);
@@ -220,6 +240,7 @@ mod tests {
 
     #[test]
     fn counters_histograms_and_gauges_aggregate() {
+        let _serial = enable_guard();
         crate::set_enabled(true);
         counter_add("t.agg.reads", 2);
         counter_add("t.agg.reads", 3);
@@ -241,16 +262,42 @@ mod tests {
 
     #[test]
     fn worker_thread_shards_merge_on_exit() {
+        let _serial = enable_guard();
         crate::set_enabled(true);
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| counter_add("t.shard.tasks", 1));
-            }
-        });
+        // Plain join() waits for full thread termination — including TLS
+        // destructors — unlike thread::scope, which unblocks when the
+        // closures return and therefore needs an explicit flush().
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| counter_add("t.shard.tasks", 1)))
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
         let snap = snapshot();
         crate::set_enabled(false);
         match snap.get("t.shard.tasks") {
             Some(Metric::Counter(n)) => assert!(*n >= 4, "lost shard updates: {n}"),
+            other => panic!("wrong metric: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scoped_workers_flush_before_the_scope_joins() {
+        let _serial = enable_guard();
+        crate::set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    counter_add("t.shard.flushed", 1);
+                    flush();
+                });
+            }
+        });
+        // No snapshot-side flush needed: the workers merged themselves.
+        let global = global().lock().expect("metrics registry poisoned").clone();
+        crate::set_enabled(false);
+        match global.get("t.shard.flushed") {
+            Some(Metric::Counter(n)) => assert!(*n >= 4, "lost flushed updates: {n}"),
             other => panic!("wrong metric: {other:?}"),
         }
     }

@@ -336,6 +336,7 @@ mod tests {
 
     #[test]
     fn disabled_mode_yields_no_trace() {
+        let _serial = crate::test_serial::guard();
         crate::set_enabled(false);
         assert!(SimTrace::begin("x").is_none());
         assert!(phase("x").is_none());
@@ -374,6 +375,7 @@ mod tests {
 
     #[test]
     fn sim_trace_flushes_labels_and_events_on_drop() {
+        let _serial = crate::test_serial::guard();
         crate::set_enabled(true);
         set_run_label("mcf/Hybrid");
         let mut t = SimTrace::begin("sim").expect("enabled");

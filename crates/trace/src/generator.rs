@@ -43,8 +43,20 @@ impl TraceGenerator {
     ///
     /// Panics if `cores == 0` or `instructions_per_core == 0`.
     pub fn generate(&self, workload: &Workload, instructions_per_core: u64, cores: usize) -> Trace {
-        self.stream(workload, instructions_per_core, cores)
-            .collect_trace()
+        // Drain each core's resumable generator straight into the trace:
+        // the records are by construction the ones a TraceStream would
+        // yield (both sides call [`CoreGen::next_op`]), without the
+        // chunk-buffer/interner round trip a stream pays for bounded
+        // memory — materialisation wants throughput, not a memory bound.
+        assert!(cores > 0, "need at least one core");
+        let mut trace = Trace::new(workload.name.to_string(), cores);
+        for core in 0..cores {
+            let mut gen = CoreGen::new(self, workload, instructions_per_core, core);
+            while let Some(op) = gen.next_op() {
+                trace.push(core, op);
+            }
+        }
+        trace
     }
 
     /// Opens a pull-based [`TraceStream`] over the same (workload, seed)

@@ -34,6 +34,16 @@ pub trait OpSource {
     fn peek(&mut self, core: usize) -> Option<MemOp>;
     /// Consumes the current head of `core`'s stream.
     fn advance(&mut self, core: usize);
+    /// Line address of the op `k` positions past the current head of
+    /// `core`'s stream, when cheaply known. Purely advisory: the engine
+    /// uses it to warm per-line device state several scheduling rounds
+    /// before dispatch, so a DRAM fill has real work to overlap with.
+    /// Implementations may return `None` whenever the answer is not
+    /// already at hand (the default) — a hint must never force
+    /// generation, buffering or any other observable work.
+    fn peek_line_ahead(&self, _core: usize, _k: usize) -> Option<u64> {
+        None
+    }
 }
 
 /// [`OpSource`] view over a materialised [`Trace`].
@@ -67,6 +77,10 @@ impl OpSource for TraceCursor<'_> {
         if self.pos[core] < len {
             self.pos[core] += 1;
         }
+    }
+
+    fn peek_line_ahead(&self, core: usize, k: usize) -> Option<u64> {
+        self.trace.stream(core).get(self.pos[core] + k).map(|op| op.line)
     }
 }
 
@@ -290,6 +304,12 @@ impl OpSource for TraceStream {
         if state.pos < state.buf.len() {
             state.pos += 1;
         }
+    }
+
+    fn peek_line_ahead(&self, core: usize, k: usize) -> Option<u64> {
+        // Within the current chunk only: a hint may not trigger a refill.
+        let state = &self.cores[core];
+        state.buf.get(state.pos + k).map(|op| self.interner.line_of(op.line))
     }
 }
 

@@ -17,6 +17,7 @@ pub struct Zipf {
     h_x1: f64,
     h_n: f64,
     ss: f64,
+    s_acc: f64,
 }
 
 impl Zipf {
@@ -43,9 +44,17 @@ impl Zipf {
             h_x1: 0.0,
             h_n: 0.0,
             ss: s,
+            s_acc: 0.0,
         };
         z.h_x1 = z.h_integral(1.5) - 1.0;
         z.h_n = z.h_integral(n as f64 + 0.5);
+        // The acceptance threshold is a constant of `s` (it costs two exp
+        // and two ln to evaluate); hoisting it out of the sample loop
+        // changes nothing about which candidates are accepted.
+        z.s_acc = 1.0
+            - z.h_integral_inverse(z.h_integral(2.5) - (-2f64.ln() * z.ss).exp())
+            + 2.0
+            - 2.5;
         z
     }
 
@@ -81,19 +90,14 @@ impl Zipf {
             let x = self.h_integral_inverse(u);
             let k64 = x.clamp(1.0, self.n as f64);
             let k = (k64 + 0.5).floor().clamp(1.0, self.n as f64) as u64;
-            // Acceptance test.
-            if k64 - x <= self.s_accept(k)
+            // Acceptance test (`s_acc` is the tight constant from the
+            // reference implementation, precomputed in `new`).
+            if k64 - x <= self.s_acc
                 || u >= self.h_integral(k as f64 + 0.5) - (-(k as f64).ln() * self.ss).exp()
             {
                 return k;
             }
         }
-    }
-
-    fn s_accept(&self, _k: u64) -> f64 {
-        // Tight constant from the reference implementation.
-        1.0 - self.h_integral_inverse(self.h_integral(2.5) - (-2f64.ln() * self.ss).exp()) + 2.0
-            - 2.5
     }
 
     /// Exact probability of rank `k` (for tests), `k^{-s} / H_n`.

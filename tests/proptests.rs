@@ -8,12 +8,18 @@
 
 mod prop_harness;
 
+use std::sync::OnceLock;
+
 use prop_harness::{check, ensure, ensure_eq, gen_bytes, gen_subset};
 use readduo::core::LwtFlags;
-use readduo::ecc::{Bch, BitVec, DecodeOutcome, GfField};
-use readduo::math::{binomial, ln_choose, LogProb};
+use readduo::ecc::{Bch, BchBitslice, BitVec, DecodeOutcome, GfField, BITSLICE_LANES};
+use readduo::math::{binomial, erf, erf_slice, erfc, erfc_slice, ln_choose, LogProb};
 use readduo::memsim::{ChannelMerge, Topology};
 use readduo::pcm::state::{bytes_to_cell_data, cell_data_to_bytes};
+use readduo::pcm::{
+    drift_exponent, log_metric_at, log_metric_at_slice, log_metric_at_u, MetricConfig,
+};
+use readduo::reliability::{CachedErrorCurve, CellErrorModel};
 use readduo::trace::{read_trace, write_trace, TraceGenerator, Workload};
 use readduo_rng::Rng as _;
 
@@ -398,6 +404,226 @@ fn channel_merge_matches_binary_heap_reference() {
             }
             ensure_eq!(popped, expected);
             ensure_eq!(merge.pending(), 0);
+            Ok(())
+        },
+    );
+}
+
+/// The paper code and its bitsliced decoder, built once: construction
+/// tabulates GF logs and 592×16 syndrome contributions, which would
+/// dominate the property if rebuilt per case.
+fn bch_pair() -> &'static (Bch, BchBitslice) {
+    static PAIR: OnceLock<(Bch, BchBitslice)> = OnceLock::new();
+    PAIR.get_or_init(|| {
+        let code = Bch::new(10, 8, 512);
+        let sliced = BchBitslice::new(&code);
+        (code, sliced)
+    })
+}
+
+/// Every lane of the bitsliced BCH decoder returns exactly the scalar
+/// oracle's verdict. Each case fills all 64 lanes with a spread of error
+/// weights — empty (`Clean`), 1..=t (`Corrected`), t+1..=2t (`Detected`),
+/// far beyond 2t (where `Miscorrected` verdicts live), and one lane set to
+/// a nonzero *codeword* (zero syndromes, guaranteed `Miscorrected`).
+#[test]
+fn bch_bitslice_matches_scalar_oracle() {
+    check(
+        "bch_bitslice_matches_scalar_oracle",
+        |rng| {
+            let (code, _) = bch_pair();
+            let nbits = code.codeword_bits();
+            (0..BITSLICE_LANES)
+                .map(|lane| match lane % 8 {
+                    0 => Vec::new(),
+                    1 => {
+                        // A nonzero codeword as the "error" pattern: its
+                        // syndromes vanish, so decode must report silent
+                        // corruption, and the bitsliced screen takes its
+                        // all-clean shortcut for a nonempty pattern.
+                        let mut data = gen_bytes(rng, 64, 64);
+                        data.resize(64, 0);
+                        data[0] |= 1;
+                        code.encode(&data)
+                            .ones()
+                            .into_iter()
+                            .map(|p| p as u16)
+                            .collect()
+                    }
+                    2 => to_u16(gen_subset(rng, nbits, 1, 8)),
+                    3 => to_u16(gen_subset(rng, nbits, 9, 16)),
+                    4 => to_u16(gen_subset(rng, nbits, 17, 24)),
+                    5 => to_u16(gen_subset(rng, nbits, 25, 60)),
+                    6 => to_u16(gen_subset(rng, nbits, 0, 2)),
+                    _ => to_u16(gen_subset(rng, nbits, 0, 40)),
+                })
+                .collect::<Vec<Vec<u16>>>()
+        },
+        |pats| {
+            let (code, sliced) = bch_pair();
+            let nbits = code.codeword_bits();
+            if pats.len() > BITSLICE_LANES
+                || pats.iter().any(|p| {
+                    p.iter().any(|&b| b as usize >= nbits)
+                        || p.windows(2).any(|w| w[0] >= w[1])
+                })
+            {
+                return Ok(());
+            }
+            let refs: Vec<&[u16]> = pats.iter().map(Vec::as_slice).collect();
+            let batch = sliced.decode_patterns(&refs);
+            ensure_eq!(batch.len(), pats.len());
+            for (lane, pat) in pats.iter().enumerate() {
+                let oracle = code.decode_error_pattern(pat);
+                ensure!(
+                    batch[lane] == oracle,
+                    "lane {lane} weight {}: bitsliced {:?} != scalar {oracle:?}",
+                    pat.len(),
+                    batch[lane]
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+fn to_u16(positions: impl IntoIterator<Item = usize>) -> Vec<u16> {
+    positions.into_iter().map(|p| p as u16).collect()
+}
+
+/// The batched Cody kernels are the scalar functions, bit for bit, at
+/// every slot — over magnitudes from deep underflow to both saturated
+/// tails, either sign, and zero.
+#[test]
+fn batched_erf_kernels_match_scalar_bitwise() {
+    check(
+        "batched_erf_kernels_match_scalar_bitwise",
+        |rng| {
+            (0..rng.gen_range(0usize..=257))
+                .map(|_| {
+                    let x = match rng.gen_range(0u32..8) {
+                        0 => 0.0,
+                        1 => 10f64.powf(rng.gen_range(-300.0f64..-8.0)),
+                        2 => rng.gen_range(6.0f64..30.0),
+                        _ => rng.gen_range(0.0f64..4.0),
+                    };
+                    if rng.gen_range(0u32..2) == 0 {
+                        x
+                    } else {
+                        -x
+                    }
+                })
+                .collect::<Vec<f64>>()
+        },
+        |xs| {
+            if xs.iter().any(|x| !x.is_finite()) {
+                return Ok(());
+            }
+            let mut out = vec![0.0; xs.len()];
+            erf_slice(xs, &mut out);
+            for (&x, &o) in xs.iter().zip(&out) {
+                ensure!(
+                    o.to_bits() == erf(x).to_bits(),
+                    "erf({x:e}): batch {o:e} != scalar {:e}",
+                    erf(x)
+                );
+            }
+            erfc_slice(xs, &mut out);
+            for (&x, &o) in xs.iter().zip(&out) {
+                ensure!(
+                    o.to_bits() == erfc(x).to_bits(),
+                    "erfc({x:e}): batch {o:e} != scalar {:e}",
+                    erfc(x)
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Hoisting the drift exponent is exact: for any line of cells,
+/// `log_metric_at_slice` / `log_metric_at_u` over one shared
+/// `drift_exponent(t, t0)` reproduce per-cell `log_metric_at` bit for bit.
+#[test]
+fn batched_drift_kernel_matches_scalar_bitwise() {
+    check(
+        "batched_drift_kernel_matches_scalar_bitwise",
+        |rng| {
+            let t0 = 10f64.powf(rng.gen_range(-9.0f64..0.0));
+            // Both sides of the t <= t0 clamp, across ns..centuries.
+            let t = 10f64.powf(rng.gen_range(-12.0f64..10.0));
+            let cells: Vec<(f64, f64)> = (0..rng.gen_range(0usize..=296))
+                .map(|_| (rng.gen_range(0.0f64..8.0), rng.gen_range(0.0f64..0.25)))
+                .collect();
+            (t, t0, cells)
+        },
+        |input| {
+            let (t, t0, cells) = input;
+            if !(*t0 > 0.0 && t.is_finite()) {
+                return Ok(());
+            }
+            let u = drift_exponent(*t, *t0);
+            let (x0s, alphas): (Vec<f64>, Vec<f64>) = cells.iter().copied().unzip();
+            let mut out = vec![0.0; cells.len()];
+            log_metric_at_slice(&x0s, &alphas, u, &mut out);
+            for (i, &(x0, a)) in cells.iter().enumerate() {
+                let scalar = log_metric_at(x0, a, *t, *t0);
+                ensure!(
+                    out[i].to_bits() == scalar.to_bits(),
+                    "slot {i}: slice kernel {:e} != log_metric_at {scalar:e}",
+                    out[i]
+                );
+                ensure!(
+                    log_metric_at_u(x0, a, u).to_bits() == scalar.to_bits(),
+                    "slot {i}: log_metric_at_u {:e} != log_metric_at {scalar:e}",
+                    log_metric_at_u(x0, a, u)
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The R-metric error curve, tabulated once: each knot integrates a
+/// 96-point quadrature, far too slow to rebuild per case.
+fn cached_curve() -> &'static CachedErrorCurve {
+    static CURVE: OnceLock<CachedErrorCurve> = OnceLock::new();
+    CURVE.get_or_init(|| {
+        let model = CellErrorModel::new(MetricConfig::r_metric());
+        CachedErrorCurve::new(&model, 1.0, 1e9, 48)
+    })
+}
+
+/// `CachedErrorCurve::prob_slice` is `prob` bit for bit at every slot —
+/// including non-positive ages (exact zero), below-grid, in-range, and
+/// beyond-grid saturation.
+#[test]
+fn cached_curve_batched_lookup_matches_scalar_bitwise() {
+    check(
+        "cached_curve_batched_lookup_matches_scalar_bitwise",
+        |rng| {
+            (0..rng.gen_range(0usize..=300))
+                .map(|_| match rng.gen_range(0u32..8) {
+                    0 => 0.0,
+                    1 => -rng.gen_range(0.0f64..1e6),
+                    _ => 10f64.powf(rng.gen_range(-3.0f64..12.0)),
+                })
+                .collect::<Vec<f64>>()
+        },
+        |ages| {
+            if ages.iter().any(|t| !t.is_finite()) {
+                return Ok(());
+            }
+            let curve = cached_curve();
+            let mut out = vec![0.0; ages.len()];
+            curve.prob_slice(ages, &mut out);
+            for (&t, &p) in ages.iter().zip(&out) {
+                ensure!(
+                    p.to_bits() == curve.prob(t).to_bits(),
+                    "prob({t:e}): batch {p:e} != scalar {:e}",
+                    curve.prob(t)
+                );
+            }
             Ok(())
         },
     );
