@@ -125,6 +125,53 @@ READDUO_FAULT_SEED=16384023 READDUO_FAULT_MC_LINES=4000 READDUO_BITSLICE=1 \
     ./target/release/fault_mc >/dev/null
 echo "    fault_mc assertions passed"
 
+# Endurance gate, three directions. (1) A seeded accelerated-wear sweep
+# with the spare pool squeezed to 2 lines must deterministically run it
+# dry: at least one row has to report writes that wanted a spare and
+# found none (graceful degradation on erasure hints alone), with zero
+# silent corruptions anywhere — the binary itself additionally asserts
+# the accel=1 rows carry no wear at all. (2) The same run replayed from
+# the same seed must produce a byte-identical CSV: the whole ladder —
+# lognormal deaths, verify retries, remap order, exhaustion — replays.
+# (3) With the wear knobs exported but READDUO_WEAR left disabled, a
+# fig9 smoke must be byte-identical to the plain run: wear is strictly
+# opt-in and must never leak into the default tree.
+echo "==> wear gate (2-spare lifetime sweep, twice + byte-diff, budget 180 s)"
+wcsv="target/experiments/lifetime.csv"
+start=$(date +%s)
+READDUO_WEAR=1 READDUO_SPARE_LINES=2 READDUO_FAULT_SEED=16384023 \
+    ./target/release/lifetime >/dev/null
+cp "$wcsv" target/experiments/lifetime-wear-a.csv
+READDUO_WEAR=1 READDUO_SPARE_LINES=2 READDUO_FAULT_SEED=16384023 \
+    ./target/release/lifetime >/dev/null
+elapsed=$(( $(date +%s) - start ))
+echo "    wear sweeps took ${elapsed}s"
+if ! cmp -s target/experiments/lifetime-wear-a.csv "$wcsv"; then
+    echo "    FAIL: accelerated-wear CSV differs across identical seeded runs" >&2
+    exit 1
+fi
+if ! awk -F, 'NR > 1 && $8 > 0 { found = 1 } END { exit !found }' "$wcsv"; then
+    echo "    FAIL: 2-line spare pool never exhausted under accelerated wear" >&2
+    exit 1
+fi
+if ! awk -F, 'NR > 1 && $10 != 0 { bad = 1 } END { exit bad }' "$wcsv"; then
+    echo "    FAIL: silent corruption under accelerated wear" >&2
+    exit 1
+fi
+if [ "$elapsed" -gt 180 ]; then
+    echo "    FAIL: wear sweeps exceeded the 180 s budget" >&2
+    exit 1
+fi
+echo "==> wear-disabled identity (fig9 smoke, wear knobs set but READDUO_WEAR off)"
+READDUO_INSTR=50000 ./target/release/fig9 >/dev/null
+cp target/experiments/fig9.csv target/experiments/fig9-wear-off.csv
+READDUO_WEAR=0 READDUO_ENDURANCE_MEAN=1000 READDUO_VERIFY_RETRIES=1 \
+    READDUO_SPARE_LINES=1 READDUO_INSTR=50000 ./target/release/fig9 >/dev/null
+if ! cmp -s target/experiments/fig9-wear-off.csv target/experiments/fig9.csv; then
+    echo "    FAIL: disabled wear perturbed the fig9 CSV" >&2
+    exit 1
+fi
+
 # Clippy ships with rustup toolchains but may be absent in minimal
 # containers; the gate is advisory there rather than a hard failure.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -173,6 +173,39 @@ fn main() {
         -1.0
     };
 
+    // Accelerated-wear leg: one worn run (fault injection + endurance
+    // model, heavy aging) timed and repeated — the two reports must be
+    // bit-for-bit identical, pinning the determinism of the whole wear
+    // pipeline (hash-derived endurance, remap order, erasure-aware
+    // decode) under the benchmark's eye rather than only in unit tests.
+    let (lifetime_ms, lifetime_remaps, lifetime_retries) = {
+        let wear = readduo_core::WearConfig::new(0x00FA_0017).with_accel(300_000);
+        let w = workloads
+            .iter()
+            .find(|w| w.name == "mcf")
+            .expect("spec2006 includes mcf");
+        let scheme = SchemeKind::Select { k: 4, s: 2 };
+        let t = Instant::now();
+        let r1 = h
+            .run_one_worn(w, scheme, 0x00FA_0017, wear)
+            .expect("Select is injectable");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let r2 = h
+            .run_one_worn(w, scheme, 0x00FA_0017, wear)
+            .expect("Select is injectable");
+        assert_eq!(r1.report, r2.report, "worn run is not deterministic");
+        assert!(
+            r1.report.lines_remapped > 0,
+            "accel 300k must exercise the remap path"
+        );
+        assert_eq!(r1.report.silent_corruptions, 0, "wear must not corrupt silently");
+        eprintln!(
+            "lifetime: {scheme} on {} worn at accel 300k: {ms:.0} ms,              {} retries, {} remaps — repeat identical",
+            w.name, r1.report.verify_retries, r1.report.lines_remapped
+        );
+        (ms, r1.report.lines_remapped, r1.report.verify_retries)
+    };
+
     // The `sweep` microbench group on the tiny matrix (fast, stable).
     let mut m = Micro::new();
     {
@@ -277,7 +310,7 @@ fn main() {
         .join("\n");
 
     let json = format!(
-        "{{\n  \"schema\": \"readduo-bench-sweep-v4\",\n  \"generated_by\": \"cargo run --release -p readduo-bench --bin bench_sweep\",\n  \"instructions_per_core\": {instr},\n  \"parallel_threads\": {threads},\n  \"fig9_matrix\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"baseline_pr1_sequential_ms\": {base:.0},\n    \"baseline_pr2_sequential_warm_ms\": {base2:.0},\n    \"sequential_cold_ms\": {cold:.0},\n    \"sequential_warm_ms\": {warm:.0},\n    \"parallel_warm_ms\": {par:.0},\n    \"streaming_warm_ms\": {stream:.0},\n    \"speedup_vs_pr1_baseline\": {speedup:.2},\n    \"speedup_vs_pr2_warm_baseline\": {speedup2:.2}\n  }},\n  \"fig9_matrix_10m\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"instructions_per_core\": 10000000,\n    \"baseline_pr6_streaming_ms\": {base6:.0},\n    \"streaming_ms\": {ms10:.0},\n    \"peak_rss_mb\": {rss10:.0},\n    \"speedup_vs_pr6_baseline\": {speedup6:.2}\n  }},\n  \"shard_scale\": {{\n    \"channels\": 8,\n    \"instructions_per_core\": 10000000,\n    \"scheme\": \"LWT-4\",\n    \"workload\": \"mcf\",\n    \"threads1_ms\": {st1:.0},\n    \"threads8_ms\": {st8:.0},\n    \"speedup_8t_vs_1t\": {sspd:.2},\n    \"host_parallelism\": {hostp},\n    \"not_meaningful\": {snm},\n    \"reports_identical\": true\n  }},\n  \"kernels\": {{\n    \"erfc_scalar_ns_per_cell\": {kes:.2},\n    \"erfc_batch_ns_per_cell\": {keb:.2},\n    \"bch_decode_scalar_ns_per_codeword\": {kbs:.1},\n    \"bch_decode_bitslice_ns_per_codeword\": {kbb:.1}\n  }},\n  \"parallel_equals_sequential\": {identical},\n  \"streaming_equals_sequential\": {identical},\n  \"micro\": {micro}\n}}\n",
+        "{{\n  \"schema\": \"readduo-bench-sweep-v5\",\n  \"generated_by\": \"cargo run --release -p readduo-bench --bin bench_sweep\",\n  \"instructions_per_core\": {instr},\n  \"parallel_threads\": {threads},\n  \"fig9_matrix\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"baseline_pr1_sequential_ms\": {base:.0},\n    \"baseline_pr2_sequential_warm_ms\": {base2:.0},\n    \"sequential_cold_ms\": {cold:.0},\n    \"sequential_warm_ms\": {warm:.0},\n    \"parallel_warm_ms\": {par:.0},\n    \"streaming_warm_ms\": {stream:.0},\n    \"speedup_vs_pr1_baseline\": {speedup:.2},\n    \"speedup_vs_pr2_warm_baseline\": {speedup2:.2}\n  }},\n  \"fig9_matrix_10m\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"instructions_per_core\": 10000000,\n    \"baseline_pr6_streaming_ms\": {base6:.0},\n    \"streaming_ms\": {ms10:.0},\n    \"peak_rss_mb\": {rss10:.0},\n    \"speedup_vs_pr6_baseline\": {speedup6:.2}\n  }},\n  \"shard_scale\": {{\n    \"channels\": 8,\n    \"instructions_per_core\": 10000000,\n    \"scheme\": \"LWT-4\",\n    \"workload\": \"mcf\",\n    \"threads1_ms\": {st1:.0},\n    \"threads8_ms\": {st8:.0},\n    \"speedup_8t_vs_1t\": {sspd:.2},\n    \"host_parallelism\": {hostp},\n    \"not_meaningful\": {snm},\n    \"reports_identical\": true\n  }},\n  \"lifetime\": {{\n    \"scheme\": \"Select-4:2\",\n    \"workload\": \"mcf\",\n    \"accel\": 300000,\n    \"run_ms\": {lms:.0},\n    \"verify_retries\": {lretries},\n    \"lines_remapped\": {lremaps},\n    \"repeat_identical\": true,\n    \"silent_corruptions\": 0\n  }},\n  \"kernels\": {{\n    \"erfc_scalar_ns_per_cell\": {kes:.2},\n    \"erfc_batch_ns_per_cell\": {keb:.2},\n    \"bch_decode_scalar_ns_per_codeword\": {kbs:.1},\n    \"bch_decode_bitslice_ns_per_codeword\": {kbb:.1}\n  }},\n  \"parallel_equals_sequential\": {identical},\n  \"streaming_equals_sequential\": {identical},\n  \"micro\": {micro}\n}}\n",
         instr = h.instructions_per_core,
         threads = threads,
         nschemes = schemes.len(),
@@ -298,6 +331,9 @@ fn main() {
         } else {
             -1.0
         },
+        lms = lifetime_ms,
+        lretries = lifetime_retries,
+        lremaps = lifetime_remaps,
         st1 = shard_t1_ms,
         st8 = shard_t8_ms,
         sspd = shard_speedup,

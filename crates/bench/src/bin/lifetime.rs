@@ -1,0 +1,120 @@
+//! Accelerated-wear lifetime sweep: the endurance subsystem end to end.
+//!
+//! Sweeps the accelerated-aging factor over the injectable schemes with
+//! the full wear pipeline attached — lognormal per-cell endurance,
+//! write-verify retry, stuck-at reads through the erasure-aware decoder,
+//! and spare-line remapping — and reports the empirical wear traffic next
+//! to the relative lifetime (inverse write volume against the same
+//! scheme's real-time-wear run, the Figure-15 convention applied to
+//! wear-induced traffic).
+//!
+//! At real-time wear (`accel = 1`) the 10⁷-cycle median endurance is
+//! unreachable inside any simulated window: the row doubles as the
+//! bit-identity reference — its wear columns must all be zero. The high
+//! factors compress the device's whole life into the window: retries
+//! appear first, then remaps, then (at the top factor with a small spare
+//! pool) spare exhaustion and graceful degradation through erasure-hinted
+//! decoding alone.
+//!
+//! `READDUO_WEAR` is *not* required — this bin is the wear experiment —
+//! but `READDUO_ENDURANCE_MEAN`, `READDUO_VERIFY_RETRIES` and
+//! `READDUO_SPARE_LINES` are honoured when `READDUO_WEAR=1` is set (the
+//! same precedence every other binary uses). `READDUO_FAULT_SEED` seeds
+//! the fault and endurance streams.
+
+use readduo_bench::{finish_telemetry, handle_help, render_table, write_csv, Harness};
+use readduo_core::{SchemeKind, WearConfig};
+use readduo_trace::Workload;
+
+/// Accelerated-aging factors swept: real time, onset of verify retries,
+/// steady remapping, and deep degradation.
+const ACCELS: [u64; 4] = [1, 100_000, 300_000, 1_000_000];
+
+fn main() {
+    handle_help(
+        "lifetime",
+        "Accelerated-wear sweep: write-verify retries, stuck-at reads, spare-line remapping and relative lifetime per scheme",
+    );
+    let harness = Harness::from_env();
+    let fault_seed = readduo_env::seed_u64("READDUO_FAULT_SEED").unwrap_or(0x00FA_0017);
+    let base = WearConfig::from_env(fault_seed).unwrap_or_else(|| WearConfig::new(fault_seed));
+    let schemes = [
+        SchemeKind::Scrubbing,
+        SchemeKind::Hybrid,
+        SchemeKind::Lwt { k: 4 },
+        SchemeKind::Select { k: 4, s: 2 },
+    ];
+    let workload = Workload::by_name("mcf").expect("known workload");
+    eprintln!(
+        "lifetime sweep: {} schemes x {} accel factors on {} at {} instr/core \
+         (median {} cycles, {} retries, {} spares) …",
+        schemes.len(),
+        ACCELS.len(),
+        workload.name,
+        harness.instructions_per_core,
+        base.median_cycles,
+        base.verify_retries,
+        base.spare_lines,
+    );
+
+    let header: Vec<String> = [
+        "scheme",
+        "accel",
+        "exec_ns",
+        "cells_written",
+        "verify_retries",
+        "cells_failed",
+        "lines_remapped",
+        "spares_exhausted_writes",
+        "stuck_bit_reads",
+        "silent_corruptions",
+        "rel_lifetime",
+    ]
+    .map(String::from)
+    .to_vec();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for scheme in schemes {
+        let mut baseline_cells = 0u64;
+        for accel in ACCELS {
+            let r = harness
+                .run_one_worn(&workload, scheme, fault_seed, base.with_accel(accel))
+                .expect("injectable scheme");
+            let rep = &r.report;
+            let cells = rep.cells_written_total().max(1);
+            if accel == 1 {
+                baseline_cells = cells;
+                assert_eq!(
+                    rep.verify_retries + rep.wear_cells_failed + rep.lines_remapped,
+                    0,
+                    "{scheme}: real-time wear must not reach the 1e7-cycle median"
+                );
+            }
+            rows.push(vec![
+                scheme.label(),
+                accel.to_string(),
+                rep.exec_ns.to_string(),
+                cells.to_string(),
+                rep.verify_retries.to_string(),
+                rep.wear_cells_failed.to_string(),
+                rep.lines_remapped.to_string(),
+                rep.spares_exhausted_writes.to_string(),
+                rep.stuck_bit_reads.to_string(),
+                rep.silent_corruptions.to_string(),
+                format!("{:.3}", baseline_cells as f64 / cells as f64),
+            ]);
+        }
+    }
+
+    println!(
+        "Lifetime under accelerated wear on {} (rel_lifetime = inverse write \
+         volume vs the same scheme at accel 1)\n",
+        workload.name
+    );
+    println!("{}", render_table(&header, &rows));
+
+    let mut csv = vec![header];
+    csv.extend(rows);
+    write_csv("lifetime", &csv);
+    finish_telemetry();
+}

@@ -283,6 +283,66 @@ impl Harness {
         Some(result)
     }
 
+    /// Runs one (workload, scheme) pair with fault injection *and* the
+    /// endurance model attached: programs age cells against `wear`'s
+    /// lognormal endurance draws, dead cells read back stuck-at through
+    /// the erasure-aware decode, and over-margin lines remap onto spares.
+    /// Returns `None` for the schemes [`run_one_faulty`] cannot inject.
+    ///
+    /// [`run_one_faulty`]: Harness::run_one_faulty
+    pub fn run_one_worn(
+        &self,
+        workload: &Workload,
+        scheme: SchemeKind,
+        fault_seed: u64,
+        wear: readduo_core::WearConfig,
+    ) -> Option<RunResult> {
+        let warm_boundary = (workload.footprint_lines.max(16) as f64
+            * workload.locality.written_fraction) as u64;
+        let seed = self.seed ^ workload.name.len() as u64;
+        let mut device =
+            scheme.build_worn(seed, fault_seed, wear, warm_boundary, workload.footprint_lines)?;
+        let trace = self.trace_for(workload);
+        let _phase =
+            readduo_telemetry::trace::phase(format!("sim-worn/{}/{scheme}", workload.name));
+        readduo_telemetry::trace::set_run_label(&format!("{}/{scheme} (worn)", workload.name));
+        let sim = Simulator::new(self.memory);
+        let report = if self.memory.topology.channels > 1 {
+            // Analytic, fault and endurance streams all decorrelate per
+            // channel; channel 0 uses the run seeds unchanged. Each
+            // channel owns a full spare pool (sparing is per-channel
+            // hardware, not a global resource).
+            sim.run_sharded(
+                &Pool::from_env(),
+                |_ch| readduo_trace::TraceCursor::new(&trace),
+                |ch| {
+                    let ch_wear = readduo_core::WearConfig {
+                        seed: readduo_core::channel_seed(wear.seed, ch),
+                        ..wear
+                    };
+                    scheme
+                        .build_worn(
+                            readduo_core::channel_seed(seed, ch),
+                            readduo_core::channel_seed(fault_seed, ch),
+                            ch_wear,
+                            warm_boundary,
+                            workload.footprint_lines,
+                        )
+                        .expect("scheme probed wear-capable above")
+                },
+            )
+        } else {
+            sim.run(&trace, device.as_mut())
+        };
+        let result = RunResult {
+            workload: workload.name,
+            scheme,
+            report,
+        };
+        publish_run_metrics(&result);
+        Some(result)
+    }
+
     /// Runs the full `schemes × workloads` matrix on the ambient pool
     /// ([`Pool::from_env`]; `READDUO_THREADS=1` forces sequential).
     pub fn run_matrix(&self, schemes: &[SchemeKind], workloads: &[Workload]) -> Vec<RunResult> {

@@ -202,13 +202,12 @@ impl DriftSampler {
 
 /// Builds the [`WriteOutcome`] of a full-line MLC write.
 pub fn full_line_write(energy: &EnergyModel, timing: &SenseTiming, slc_bits: u32) -> WriteOutcome {
-    WriteOutcome {
-        latency_ns: timing.write_ns,
-        cells_written: FULL_LINE_CELLS,
-        slc_bits_written: slc_bits,
-        energy_pj: FULL_LINE_CELLS as f64 * energy.write_cell_pj
-            + slc_bits as f64 * energy.slc_bit_pj,
-    }
+    WriteOutcome::basic(
+        timing.write_ns,
+        FULL_LINE_CELLS,
+        slc_bits,
+        FULL_LINE_CELLS as f64 * energy.write_cell_pj + slc_bits as f64 * energy.slc_bit_pj,
+    )
 }
 
 /// Builds the [`WriteOutcome`] of a differential write of `cells` cells.
@@ -217,12 +216,7 @@ pub fn differential_write(
     timing: &SenseTiming,
     cells: u32,
 ) -> WriteOutcome {
-    WriteOutcome {
-        latency_ns: timing.write_ns,
-        cells_written: cells,
-        slc_bits_written: 0,
-        energy_pj: cells as f64 * energy.write_cell_pj,
-    }
+    WriteOutcome::basic(timing.write_ns, cells, 0, cells as f64 * energy.write_cell_pj)
 }
 
 #[cfg(test)]

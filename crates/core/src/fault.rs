@@ -45,6 +45,10 @@ pub struct InjectedRead {
     /// The line survived only through escalation + ECC and should be
     /// rewritten so it re-enters the fast R-readable population.
     pub needs_rewrite: bool,
+    /// Stuck-at bits of worn-out cells that read back wrong (they entered
+    /// the decode as erasure-hinted persistent errors; 0 on the wear-free
+    /// paths).
+    pub stuck_bits: u32,
 }
 
 /// Per-scheme fault injector: samples line faults, decodes them with the
@@ -192,6 +196,85 @@ impl FaultInjector {
         outs
     }
 
+    /// One R-first read of a line carrying stuck-at bits from worn-out
+    /// cells: `stuck_wrong` are the codeword bits the dead cells return
+    /// wrong, `erased` every bit position a dead cell occupies (the
+    /// erasure hints handed to the decoder). Samples the drift pattern
+    /// exactly like [`read_at`] — same RNG consumption — then overlays the
+    /// stuck cells: dead silicon does not drift, so drift bits landing on
+    /// erased positions are replaced by the stuck reading, and both sides
+    /// decode through the errors-and-erasures path.
+    ///
+    /// With empty slices this is outcome- and stream-identical to
+    /// [`read_at`]; callers branch to the plain path anyway to skip the
+    /// merge.
+    ///
+    /// [`read_at`]: FaultInjector::read_at
+    pub fn read_at_stuck(
+        &mut self,
+        age_s: f64,
+        stuck_wrong: &[u16],
+        erased: &[u16],
+    ) -> InjectedRead {
+        let faults = self.model.sample_line(age_s, FULL_LINE_CELLS, &mut self.rng);
+        let r_bits = merge_stuck(&faults.r_bits, stuck_wrong, erased);
+        let mut out = InjectedRead {
+            r_errors: r_bits.len() as u32,
+            stuck_bits: stuck_wrong.len() as u32,
+            ..InjectedRead::default()
+        };
+        match self.code.decode_error_pattern_with_erasures(&r_bits, erased) {
+            PatternOutcome::Clean => {}
+            PatternOutcome::Corrected(n) => out.corrected_bits = n as u32,
+            PatternOutcome::Miscorrected => out.silent_corruption = true,
+            PatternOutcome::Detected if !self.escalate => out.detected_uncorrectable = true,
+            PatternOutcome::Detected => {
+                out.escalated = true;
+                let m_bits = merge_stuck(&faults.m_bits, stuck_wrong, erased);
+                out.m_errors = m_bits.len() as u32;
+                match self.code.decode_error_pattern_with_erasures(&m_bits, erased) {
+                    PatternOutcome::Clean => out.needs_rewrite = true,
+                    PatternOutcome::Corrected(n) => {
+                        out.corrected_bits = n as u32;
+                        out.needs_rewrite = true;
+                    }
+                    PatternOutcome::Detected => out.detected_uncorrectable = true,
+                    PatternOutcome::Miscorrected => out.silent_corruption = true,
+                }
+            }
+        }
+        self.publish(&out);
+        out
+    }
+
+    /// The stuck-aware counterpart of [`read_m_at`]: a direct M-read of a
+    /// line carrying dead cells, decoded with erasure hints. Same RNG
+    /// consumption as [`read_m_at`].
+    ///
+    /// [`read_m_at`]: FaultInjector::read_m_at
+    pub fn read_m_at_stuck(
+        &mut self,
+        age_s: f64,
+        stuck_wrong: &[u16],
+        erased: &[u16],
+    ) -> InjectedRead {
+        let faults = self.model.sample_line(age_s, FULL_LINE_CELLS, &mut self.rng);
+        let m_bits = merge_stuck(&faults.m_bits, stuck_wrong, erased);
+        let mut out = InjectedRead {
+            m_errors: m_bits.len() as u32,
+            stuck_bits: stuck_wrong.len() as u32,
+            ..InjectedRead::default()
+        };
+        match self.code.decode_error_pattern_with_erasures(&m_bits, erased) {
+            PatternOutcome::Clean => {}
+            PatternOutcome::Corrected(n) => out.corrected_bits = n as u32,
+            PatternOutcome::Detected => out.detected_uncorrectable = true,
+            PatternOutcome::Miscorrected => out.silent_corruption = true,
+        }
+        self.publish(&out);
+        out
+    }
+
     /// One direct M-read (LWT's untracked path: R-sensing is skipped by
     /// the flag check, the line is read with M outright).
     pub fn read_m_at(&mut self, age_s: f64) -> InjectedRead {
@@ -221,7 +304,31 @@ impl FaultInjector {
         counter_add("fault.rewrites_needed", u64::from(out.needs_rewrite));
         counter_add("fault.uncorrectable", u64::from(out.detected_uncorrectable));
         counter_add("fault.silent_corruptions", u64::from(out.silent_corruption));
+        counter_add("fault.stuck_bits", u64::from(out.stuck_bits));
     }
+}
+
+/// Overlays a line's stuck-at bits on a sampled drift pattern: drift bits
+/// landing on erased positions are dropped (dead silicon does not drift —
+/// the cell reads its stuck value whatever was programmed) and the dead
+/// cells' wrong bits merged in. All three inputs are ascending; so is the
+/// result.
+fn merge_stuck(drift: &[u16], stuck_wrong: &[u16], erased: &[u16]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(drift.len() + stuck_wrong.len());
+    let mut stuck = stuck_wrong.iter().copied().peekable();
+    for &b in drift.iter().filter(|b| erased.binary_search(b).is_err()) {
+        while let Some(&s) = stuck.peek() {
+            if s < b {
+                out.push(s);
+                stuck.next();
+            } else {
+                break;
+            }
+        }
+        out.push(b);
+    }
+    out.extend(stuck);
+    out
 }
 
 #[cfg(test)]
@@ -304,6 +411,62 @@ mod tests {
             let got: Vec<InjectedRead> =
                 ages.chunks(chunk).flat_map(|c| batch.read_batch_at(c)).collect();
             assert_eq!(got, expected, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn stuck_reads_with_empty_masks_match_plain_reads() {
+        // The wear-free fast path in the schemes calls `read_at`; the
+        // stuck variant with empty masks must be indistinguishable, so a
+        // wear table that never saw a failure changes nothing.
+        let ages = [1.0, 640.0, 2e4, 3e4, 1e5];
+        let mut plain = FaultInjector::new(21, true);
+        let mut stuck = FaultInjector::new(21, true);
+        for _ in 0..100 {
+            for &a in &ages {
+                assert_eq!(stuck.read_at_stuck(a, &[], &[]), plain.read_at(a));
+            }
+        }
+        let mut plain_m = FaultInjector::new(22, true);
+        let mut stuck_m = FaultInjector::new(22, true);
+        for _ in 0..100 {
+            for &a in &ages {
+                assert_eq!(stuck_m.read_m_at_stuck(a, &[], &[]), plain_m.read_m_at(a));
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_bits_decode_through_erasure_hints_on_young_lines() {
+        // A young line (no drift errors) carrying dead cells: the stuck
+        // wrong bits are persistent errors, but their positions are known
+        // — the erasure-aware decode must repair them with no silent
+        // corruption, even with all 8 erased bits wrong (e=0, f=8 ≤ t).
+        let erased: Vec<u16> = vec![10, 11, 100, 101, 300, 301, 500, 501];
+        for wrong_n in [1usize, 3, 5, 8] {
+            let wrong: Vec<u16> = erased[..wrong_n].to_vec();
+            let mut inj = FaultInjector::new(31, true);
+            for _ in 0..50 {
+                let r = inj.read_at_stuck(0.5, &wrong, &erased);
+                assert_eq!(r.stuck_bits, wrong_n as u32);
+                assert!(!r.silent_corruption, "wrong={wrong_n}");
+                assert!(!r.detected_uncorrectable, "wrong={wrong_n}");
+                assert_eq!(r.corrected_bits, wrong_n as u32, "wrong={wrong_n}");
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_reads_never_silently_corrupt_at_field_ages() {
+        // Dead cells + drift at the scrub-interval age: the combined
+        // pattern may escalate or flag, but must never pass wrong data off
+        // as good — that is the whole point of the erasure hints.
+        let wrong: Vec<u16> = vec![40, 41, 220];
+        let erased: Vec<u16> = vec![40, 41, 220, 221];
+        let mut inj = FaultInjector::new(32, true);
+        for _ in 0..2000 {
+            let r = inj.read_at_stuck(640.0, &wrong, &erased);
+            assert!(!r.silent_corruption);
         }
     }
 

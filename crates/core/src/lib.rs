@@ -54,6 +54,7 @@ pub mod flags;
 pub mod linestate;
 pub mod scheme;
 pub mod schemes;
+pub mod wear;
 
 pub use area::{LineStorage, SubarrayArea};
 pub use conversion::ConversionController;
@@ -65,3 +66,4 @@ pub use scheme::{channel_seed, SchemeKind};
 pub use schemes::{
     HybridScheme, LwtScheme, MMetricScheme, SchemeCounters, ScrubbingScheme, TlcScheme,
 };
+pub use wear::{WearConfig, WearTable};

@@ -3,6 +3,7 @@
 
 use crate::area::LineStorage;
 use crate::schemes::{HybridScheme, LwtScheme, MMetricScheme, ScrubbingScheme, TlcScheme};
+use crate::wear::WearConfig;
 use readduo_memsim::{DeviceModel, FixedLatencyDevice};
 
 /// Derives one channel's device seed from the run seed: channel 0 keeps
@@ -163,41 +164,90 @@ impl SchemeKind {
         warm_boundary: u64,
         footprint_lines: u64,
     ) -> Option<Box<dyn DeviceModel>> {
+        self.build_faulty_inner(seed, fault_seed, None, warm_boundary, footprint_lines)
+    }
+
+    /// [`build_faulty`] plus the endurance model: cells age per program,
+    /// dead cells read back stuck-at (decoded with erasure hints), and
+    /// over-margin lines remap onto spares. Covers exactly the injectable
+    /// schemes — stuck bits only matter through the injected decode path.
+    ///
+    /// [`build_faulty`]: SchemeKind::build_faulty
+    pub fn build_worn(
+        &self,
+        seed: u64,
+        fault_seed: u64,
+        wear: WearConfig,
+        warm_boundary: u64,
+        footprint_lines: u64,
+    ) -> Option<Box<dyn DeviceModel>> {
+        self.build_faulty_inner(seed, fault_seed, Some(wear), warm_boundary, footprint_lines)
+    }
+
+    fn build_faulty_inner(
+        &self,
+        seed: u64,
+        fault_seed: u64,
+        wear: Option<WearConfig>,
+        warm_boundary: u64,
+        footprint_lines: u64,
+    ) -> Option<Box<dyn DeviceModel>> {
         match *self {
-            SchemeKind::Scrubbing => Some(Box::new(
-                ScrubbingScheme::paper(seed)
-                    .with_fault_injection(fault_seed)
-                    .with_warm_region(warm_boundary)
-                    .with_dense_region(footprint_lines),
-            )),
-            SchemeKind::ScrubbingW0 => Some(Box::new(
-                ScrubbingScheme::paper_w0(seed)
-                    .with_fault_injection(fault_seed)
-                    .with_dense_region(footprint_lines),
-            )),
-            SchemeKind::Hybrid => Some(Box::new(
-                HybridScheme::paper(seed)
-                    .with_fault_injection(fault_seed)
-                    .with_dense_region(footprint_lines),
-            )),
-            SchemeKind::Lwt { k } => Some(Box::new(
-                LwtScheme::paper(seed, k)
-                    .with_fault_injection(fault_seed)
-                    .with_warm_region(warm_boundary)
-                    .with_dense_region(footprint_lines),
-            )),
-            SchemeKind::LwtNoConversion { k } => Some(Box::new(
-                LwtScheme::without_conversion(seed, k)
-                    .with_fault_injection(fault_seed)
-                    .with_warm_region(warm_boundary)
-                    .with_dense_region(footprint_lines),
-            )),
-            SchemeKind::Select { k, s } => Some(Box::new(
-                LwtScheme::select(seed, k, s)
-                    .with_fault_injection(fault_seed)
-                    .with_warm_region(warm_boundary)
-                    .with_dense_region(footprint_lines),
-            )),
+            SchemeKind::Scrubbing => {
+                let mut s = ScrubbingScheme::paper(seed).with_fault_injection(fault_seed);
+                if let Some(w) = wear {
+                    s = s.with_wear(w);
+                }
+                Some(Box::new(
+                    s.with_warm_region(warm_boundary)
+                        .with_dense_region(footprint_lines),
+                ))
+            }
+            SchemeKind::ScrubbingW0 => {
+                let mut s = ScrubbingScheme::paper_w0(seed).with_fault_injection(fault_seed);
+                if let Some(w) = wear {
+                    s = s.with_wear(w);
+                }
+                Some(Box::new(s.with_dense_region(footprint_lines)))
+            }
+            SchemeKind::Hybrid => {
+                let mut s = HybridScheme::paper(seed).with_fault_injection(fault_seed);
+                if let Some(w) = wear {
+                    s = s.with_wear(w);
+                }
+                Some(Box::new(s.with_dense_region(footprint_lines)))
+            }
+            SchemeKind::Lwt { k } => {
+                let mut s = LwtScheme::paper(seed, k).with_fault_injection(fault_seed);
+                if let Some(w) = wear {
+                    s = s.with_wear(w);
+                }
+                Some(Box::new(
+                    s.with_warm_region(warm_boundary)
+                        .with_dense_region(footprint_lines),
+                ))
+            }
+            SchemeKind::LwtNoConversion { k } => {
+                let mut s =
+                    LwtScheme::without_conversion(seed, k).with_fault_injection(fault_seed);
+                if let Some(w) = wear {
+                    s = s.with_wear(w);
+                }
+                Some(Box::new(
+                    s.with_warm_region(warm_boundary)
+                        .with_dense_region(footprint_lines),
+                ))
+            }
+            SchemeKind::Select { k, s: sw } => {
+                let mut s = LwtScheme::select(seed, k, sw).with_fault_injection(fault_seed);
+                if let Some(w) = wear {
+                    s = s.with_wear(w);
+                }
+                Some(Box::new(
+                    s.with_warm_region(warm_boundary)
+                        .with_dense_region(footprint_lines),
+                ))
+            }
             SchemeKind::Ideal | SchemeKind::MMetric | SchemeKind::Tlc => None,
         }
     }

@@ -22,10 +22,11 @@ use crate::conversion::ConversionController;
 use crate::fault::FaultInjector;
 use crate::flags::LwtFlags;
 use crate::linestate::LineTable;
+use crate::wear::{WearConfig, WearTable};
 use readduo_memsim::{
     DeviceModel, EnergyModel, ReadMode, ReadOutcome, ScrubOutcome, WriteOutcome,
 };
-use readduo_pcm::SenseTiming;
+use readduo_pcm::DeviceParams;
 
 /// Cold-line age assumed for `W = 1` policies at `S = 640 s`: M-metric
 /// scrubbing almost never rewrites, so data written before the simulation
@@ -65,10 +66,11 @@ pub struct ScrubbingScheme {
     sampler: DriftSampler,
     table: LineTable,
     energy: EnergyModel,
-    timing: SenseTiming,
+    params: DeviceParams,
     interval_s: f64,
     w: u32,
     injector: Option<FaultInjector>,
+    wear: Option<WearTable>,
     counters: SchemeCounters,
 }
 
@@ -95,10 +97,11 @@ impl ScrubbingScheme {
             sampler: DriftSampler::new(seed),
             table,
             energy: EnergyModel::paper(),
-            timing: SenseTiming::paper(),
+            params: DeviceParams::paper(),
             interval_s,
             w,
             injector: None,
+            wear: None,
             counters: SchemeCounters::default(),
         }
     }
@@ -130,6 +133,19 @@ impl ScrubbingScheme {
         self
     }
 
+    /// Attaches the endurance model: every program ages the line's cells,
+    /// dead cells read back stuck-at, and lines whose dead-cell count
+    /// exceeds the margin remap onto spares (see [`WearTable`]).
+    pub fn with_wear(mut self, cfg: WearConfig) -> Self {
+        self.wear = Some(WearTable::new(cfg));
+        self
+    }
+
+    /// The endurance state, when wear modelling is enabled.
+    pub fn wear(&self) -> Option<&WearTable> {
+        self.wear.as_ref()
+    }
+
     /// Overrides the cold-line age assumption — a validation/stress knob
     /// that rebuilds the line table, so call it before the region setters.
     pub fn with_cold_age(mut self, age_s: f64) -> Self {
@@ -143,7 +159,15 @@ impl DeviceModel for ScrubbingScheme {
         let st = *self.table.get_mut(line, now_s);
         let age = self.table.full_write_age(&st, now_s);
         if let Some(inj) = self.injector.as_mut() {
-            let r = inj.read_at(age);
+            let (stuck_wrong, erased) = match self.wear.as_mut() {
+                Some(w) => w.stuck_read(line),
+                None => (&[][..], &[][..]),
+            };
+            let r = if erased.is_empty() {
+                inj.read_at(age)
+            } else {
+                inj.read_at_stuck(age, stuck_wrong, erased)
+            };
             if r.detected_uncorrectable {
                 self.counters.uncorrectable_reads += 1;
             }
@@ -152,7 +176,8 @@ impl DeviceModel for ScrubbingScheme {
                 ecc_corrected_bits: r.corrected_bits,
                 detected_uncorrectable: r.detected_uncorrectable,
                 silent_corruption: r.silent_corruption,
-                ..ReadOutcome::basic(self.timing.r_read_ns, ReadMode::RRead, self.energy.r_read_pj)
+                stuck_bits: r.stuck_bits,
+                ..ReadOutcome::basic(self.params.timing.r_read_ns, ReadMode::RRead, self.energy.r_read_pj)
             };
         }
         let errors = self.sampler.bit_errors_r(age);
@@ -161,7 +186,7 @@ impl DeviceModel for ScrubbingScheme {
         }
         ReadOutcome {
             drift_errors: errors,
-            ..ReadOutcome::basic(self.timing.r_read_ns, ReadMode::RRead, self.energy.r_read_pj)
+            ..ReadOutcome::basic(self.params.timing.r_read_ns, ReadMode::RRead, self.energy.r_read_pj)
         }
     }
 
@@ -169,23 +194,39 @@ impl DeviceModel for ScrubbingScheme {
         let st = self.table.get_mut(line, now_s);
         st.last_full_write_s = now_s;
         self.counters.full_writes += 1;
-        full_line_write(&self.energy, &self.timing, 0)
+        let mut out = full_line_write(&self.energy, &self.params.timing, 0);
+        if let Some(w) = self.wear.as_mut() {
+            w.apply_program(line, &self.params, &self.energy, &mut out);
+        }
+        out
     }
 
     fn on_scrub(&mut self, line: u64, now_s: f64) -> ScrubOutcome {
         let st = *self.table.get_mut(line, now_s);
         let age = self.table.full_write_age(&st, now_s);
         let errors = self.sampler.bit_errors_r(age);
-        let rewrite = self.w == 0 || errors >= self.w;
+        // Dead cells shrink the correctable margin: a line with stuck bits
+        // escalates its scan and is rewritten unconditionally so the spare
+        // machinery gets a chance to remap it.
+        let stuck = self.wear.as_ref().map_or(0, |w| w.stuck_cells(line));
+        let rewrite = self.w == 0 || errors >= self.w || stuck > 0;
         let st = self.table.get_mut(line, now_s);
         st.last_scrub_s = now_s;
         if rewrite {
             st.last_full_write_s = now_s;
         }
+        let mut rw = rewrite.then(|| full_line_write(&self.energy, &self.params.timing, 0));
+        if let (Some(w), Some(out)) = (self.wear.as_mut(), rw.as_mut()) {
+            w.apply_program(line, &self.params, &self.energy, out);
+        }
         ScrubOutcome {
-            read_latency_ns: self.timing.r_read_ns,
+            read_latency_ns: if stuck > 0 {
+                self.params.escalation_read_ns
+            } else {
+                self.params.timing.r_read_ns
+            },
             read_energy_pj: self.energy.scrub_scan_pj,
-            rewrite: rewrite.then(|| full_line_write(&self.energy, &self.timing, 0)),
+            rewrite: rw,
         }
     }
 
@@ -208,7 +249,7 @@ pub struct MMetricScheme {
     sampler: DriftSampler,
     table: LineTable,
     energy: EnergyModel,
-    timing: SenseTiming,
+    params: DeviceParams,
     interval_s: f64,
     counters: SchemeCounters,
 }
@@ -220,7 +261,7 @@ impl MMetricScheme {
             sampler: DriftSampler::new(seed),
             table: LineTable::new(2, 640.0, COLD_AGE_LONG_S),
             energy: EnergyModel::paper(),
-            timing: SenseTiming::paper(),
+            params: DeviceParams::paper(),
             interval_s: 640.0,
             counters: SchemeCounters::default(),
         }
@@ -253,7 +294,7 @@ impl DeviceModel for MMetricScheme {
         let errors = self.sampler.bit_errors_m(age);
         ReadOutcome {
             drift_errors: errors,
-            ..ReadOutcome::basic(self.timing.m_read_ns, ReadMode::MRead, self.energy.m_read_pj)
+            ..ReadOutcome::basic(self.params.timing.m_read_ns, ReadMode::MRead, self.energy.m_read_pj)
         }
     }
 
@@ -261,7 +302,7 @@ impl DeviceModel for MMetricScheme {
         let st = self.table.get_mut(line, now_s);
         st.last_full_write_s = now_s;
         self.counters.full_writes += 1;
-        full_line_write(&self.energy, &self.timing, 0)
+        full_line_write(&self.energy, &self.params.timing, 0)
     }
 
     fn on_scrub(&mut self, line: u64, now_s: f64) -> ScrubOutcome {
@@ -275,9 +316,9 @@ impl DeviceModel for MMetricScheme {
             st.last_full_write_s = now_s;
         }
         ScrubOutcome {
-            read_latency_ns: self.timing.m_read_ns,
+            read_latency_ns: self.params.timing.m_read_ns,
             read_energy_pj: self.energy.scrub_scan_pj,
-            rewrite: rewrite.then(|| full_line_write(&self.energy, &self.timing, 0)),
+            rewrite: rewrite.then(|| full_line_write(&self.energy, &self.params.timing, 0)),
         }
     }
 
@@ -302,9 +343,10 @@ pub struct HybridScheme {
     sampler: DriftSampler,
     table: LineTable,
     energy: EnergyModel,
-    timing: SenseTiming,
+    params: DeviceParams,
     interval_s: f64,
     injector: Option<FaultInjector>,
+    wear: Option<WearTable>,
     counters: SchemeCounters,
 }
 
@@ -315,9 +357,10 @@ impl HybridScheme {
             sampler: DriftSampler::new(seed),
             table: LineTable::new(2, 640.0, 0.0).with_cold_writes_at_scrub(),
             energy: EnergyModel::paper(),
-            timing: SenseTiming::paper(),
+            params: DeviceParams::paper(),
             interval_s: 640.0,
             injector: None,
+            wear: None,
             counters: SchemeCounters::default(),
         }
     }
@@ -343,6 +386,17 @@ impl HybridScheme {
         self
     }
 
+    /// Attaches the endurance model (see [`WearTable`]).
+    pub fn with_wear(mut self, cfg: WearConfig) -> Self {
+        self.wear = Some(WearTable::new(cfg));
+        self
+    }
+
+    /// The endurance state, when wear modelling is enabled.
+    pub fn wear(&self) -> Option<&WearTable> {
+        self.wear.as_ref()
+    }
+
     /// Overrides the cold-line age assumption — a validation/stress knob
     /// (e.g. to exercise the escalation band, which `W = 0` scrubbing
     /// makes astronomically rare at natural ages). Rebuilds the line
@@ -356,10 +410,11 @@ impl HybridScheme {
     fn banded_read(
         sampler: &mut DriftSampler,
         energy: &EnergyModel,
-        timing: &SenseTiming,
+        params: &DeviceParams,
         counters: &mut SchemeCounters,
         age: f64,
     ) -> ReadOutcome {
+        let timing = &params.timing;
         let errors = sampler.bit_errors_r(age);
         if errors <= CORRECT_MAX {
             ReadOutcome {
@@ -373,7 +428,7 @@ impl HybridScheme {
             ReadOutcome {
                 drift_errors: m_errors,
                 ..ReadOutcome::basic(
-                    timing.rm_read_ns(),
+                    params.escalation_read_ns,
                     ReadMode::RmRead,
                     energy.r_read_pj + energy.m_read_pj,
                 )
@@ -395,11 +450,19 @@ impl HybridScheme {
     fn injected_banded_read(
         injector: &mut FaultInjector,
         energy: &EnergyModel,
-        timing: &SenseTiming,
+        params: &DeviceParams,
         counters: &mut SchemeCounters,
         age: f64,
+        stuck_wrong: &[u16],
+        erased: &[u16],
     ) -> (ReadOutcome, bool) {
-        let r = injector.read_at(age);
+        // Wear-free lines take the plain path bit-for-bit; lines with dead
+        // cells overlay their stuck bits and decode with erasure hints.
+        let r = if erased.is_empty() {
+            injector.read_at(age)
+        } else {
+            injector.read_at_stuck(age, stuck_wrong, erased)
+        };
         if r.detected_uncorrectable {
             counters.uncorrectable_reads += 1;
         }
@@ -408,7 +471,7 @@ impl HybridScheme {
             ReadOutcome {
                 drift_errors: r.m_errors,
                 ..ReadOutcome::basic(
-                    timing.rm_read_ns(),
+                    params.escalation_read_ns,
                     ReadMode::RmRead,
                     energy.r_read_pj + energy.m_read_pj,
                 )
@@ -416,12 +479,13 @@ impl HybridScheme {
         } else {
             ReadOutcome {
                 drift_errors: r.r_errors,
-                ..ReadOutcome::basic(timing.r_read_ns, ReadMode::RRead, energy.r_read_pj)
+                ..ReadOutcome::basic(params.timing.r_read_ns, ReadMode::RRead, energy.r_read_pj)
             }
         };
         out.ecc_corrected_bits = r.corrected_bits;
         out.detected_uncorrectable = r.detected_uncorrectable;
         out.silent_corruption = r.silent_corruption;
+        out.stuck_bits = r.stuck_bits;
         (out, r.needs_rewrite)
     }
 }
@@ -431,12 +495,18 @@ impl DeviceModel for HybridScheme {
         let st = *self.table.get_mut(line, now_s);
         let age = self.table.full_write_age(&st, now_s);
         if let Some(inj) = self.injector.as_mut() {
+            let (stuck_wrong, erased) = match self.wear.as_mut() {
+                Some(w) => w.stuck_read(line),
+                None => (&[][..], &[][..]),
+            };
             let (mut out, needs_rewrite) = Self::injected_banded_read(
                 inj,
                 &self.energy,
-                &self.timing,
+                &self.params,
                 &mut self.counters,
                 age,
+                stuck_wrong,
+                erased,
             );
             if needs_rewrite {
                 // The line is only readable through escalation: rewrite it
@@ -444,14 +514,18 @@ impl DeviceModel for HybridScheme {
                 let st = self.table.get_mut(line, now_s);
                 st.last_full_write_s = now_s;
                 self.counters.full_writes += 1;
-                out.corrective = Some(full_line_write(&self.energy, &self.timing, 0));
+                let mut rw = full_line_write(&self.energy, &self.params.timing, 0);
+                if let Some(w) = self.wear.as_mut() {
+                    w.apply_program(line, &self.params, &self.energy, &mut rw);
+                }
+                out.corrective = Some(rw);
             }
             return out;
         }
         Self::banded_read(
             &mut self.sampler,
             &self.energy,
-            &self.timing,
+            &self.params,
             &mut self.counters,
             age,
         )
@@ -461,7 +535,11 @@ impl DeviceModel for HybridScheme {
         let st = self.table.get_mut(line, now_s);
         st.last_full_write_s = now_s;
         self.counters.full_writes += 1;
-        full_line_write(&self.energy, &self.timing, 0)
+        let mut out = full_line_write(&self.energy, &self.params.timing, 0);
+        if let Some(w) = self.wear.as_mut() {
+            w.apply_program(line, &self.params, &self.energy, &mut out);
+        }
+        out
     }
 
     fn on_scrub(&mut self, line: u64, now_s: f64) -> ScrubOutcome {
@@ -469,10 +547,19 @@ impl DeviceModel for HybridScheme {
         let st = self.table.get_mut(line, now_s);
         st.last_scrub_s = now_s;
         st.last_full_write_s = now_s;
+        let stuck = self.wear.as_ref().map_or(0, |w| w.stuck_cells(line));
+        let mut rw = full_line_write(&self.energy, &self.params.timing, 0);
+        if let Some(w) = self.wear.as_mut() {
+            w.apply_program(line, &self.params, &self.energy, &mut rw);
+        }
         ScrubOutcome {
-            read_latency_ns: self.timing.m_read_ns,
+            read_latency_ns: if stuck > 0 {
+                self.params.escalation_read_ns
+            } else {
+                self.params.timing.m_read_ns
+            },
             read_energy_pj: self.energy.scrub_scan_pj,
-            rewrite: Some(full_line_write(&self.energy, &self.timing, 0)),
+            rewrite: Some(rw),
         }
     }
 
@@ -496,7 +583,7 @@ pub struct LwtScheme {
     sampler: DriftSampler,
     table: LineTable,
     energy: EnergyModel,
-    timing: SenseTiming,
+    params: DeviceParams,
     interval_s: f64,
     k: u8,
     controller: ConversionController,
@@ -504,6 +591,7 @@ pub struct LwtScheme {
     /// Select-(k:s) window in sub-intervals; 0 disables SDW (plain LWT).
     sdw_window: u8,
     injector: Option<FaultInjector>,
+    wear: Option<WearTable>,
     counters: SchemeCounters,
 }
 
@@ -537,13 +625,14 @@ impl LwtScheme {
             sampler: DriftSampler::new(seed),
             table: LineTable::new(k, 640.0, COLD_AGE_LONG_S),
             energy: EnergyModel::paper(),
-            timing: SenseTiming::paper(),
+            params: DeviceParams::paper(),
             interval_s: 640.0,
             k,
             controller: ConversionController::paper(),
             conversion_enabled: conversion,
             sdw_window,
             injector: None,
+            wear: None,
             counters: SchemeCounters::default(),
         }
     }
@@ -554,6 +643,17 @@ impl LwtScheme {
     pub fn with_fault_injection(mut self, seed: u64) -> Self {
         self.injector = Some(FaultInjector::new(seed, true));
         self
+    }
+
+    /// Attaches the endurance model (see [`WearTable`]).
+    pub fn with_wear(mut self, cfg: WearConfig) -> Self {
+        self.wear = Some(WearTable::new(cfg));
+        self
+    }
+
+    /// The endurance state, when wear modelling is enabled.
+    pub fn wear(&self) -> Option<&WearTable> {
+        self.wear.as_ref()
     }
 
     /// Side counters.
@@ -595,12 +695,18 @@ impl DeviceModel for LwtScheme {
         if allows_r {
             let age = self.table.full_write_age(&st, now_s);
             if let Some(inj) = self.injector.as_mut() {
+                let (stuck_wrong, erased) = match self.wear.as_mut() {
+                    Some(w) => w.stuck_read(line),
+                    None => (&[][..], &[][..]),
+                };
                 let (mut out, needs_rewrite) = HybridScheme::injected_banded_read(
                     inj,
                     &self.energy,
-                    &self.timing,
+                    &self.params,
                     &mut self.counters,
                     age,
+                    stuck_wrong,
+                    erased,
                 );
                 if needs_rewrite {
                     let slc = LwtFlags::storage_bits(self.k);
@@ -610,14 +716,18 @@ impl DeviceModel for LwtScheme {
                         st.flags.on_write(s);
                     }
                     self.counters.full_writes += 1;
-                    out.corrective = Some(full_line_write(&self.energy, &self.timing, slc));
+                    let mut rw = full_line_write(&self.energy, &self.params.timing, slc);
+                    if let Some(w) = self.wear.as_mut() {
+                        w.apply_program(line, &self.params, &self.energy, &mut rw);
+                    }
+                    out.corrective = Some(rw);
                 }
                 return out;
             }
             return HybridScheme::banded_read(
                 &mut self.sampler,
                 &self.energy,
-                &self.timing,
+                &self.params,
                 &mut self.counters,
                 age,
             );
@@ -626,7 +736,18 @@ impl DeviceModel for LwtScheme {
         // reissued — an R-M-read.
         self.counters.rm_reads += 1;
         let age = self.table.full_write_age(&st, now_s);
-        let injected = self.injector.as_mut().map(|inj| inj.read_m_at(age));
+        let injected = match (self.injector.as_mut(), self.wear.as_mut()) {
+            (Some(inj), Some(w)) => {
+                let (stuck_wrong, erased) = w.stuck_read(line);
+                Some(if erased.is_empty() {
+                    inj.read_m_at(age)
+                } else {
+                    inj.read_m_at_stuck(age, stuck_wrong, erased)
+                })
+            }
+            (Some(inj), None) => Some(inj.read_m_at(age)),
+            (None, _) => None,
+        };
         let errors = match injected {
             Some(r) => r.m_errors,
             None => self.sampler.bit_errors_m(age),
@@ -644,7 +765,11 @@ impl DeviceModel for LwtScheme {
                 st.flags.on_write(s);
             }
             self.counters.full_writes += 1;
-            Some(full_line_write(&self.energy, &self.timing, slc))
+            let mut cw = full_line_write(&self.energy, &self.params.timing, slc);
+            if let Some(w) = self.wear.as_mut() {
+                w.apply_program(line, &self.params, &self.energy, &mut cw);
+            }
+            Some(cw)
         } else {
             None
         };
@@ -653,7 +778,7 @@ impl DeviceModel for LwtScheme {
             untracked: true,
             drift_errors: errors,
             ..ReadOutcome::basic(
-                self.timing.rm_read_ns(),
+                self.params.escalation_read_ns,
                 ReadMode::RmRead,
                 self.energy.r_read_pj + self.energy.m_read_pj,
             )
@@ -662,6 +787,7 @@ impl DeviceModel for LwtScheme {
             out.ecc_corrected_bits = r.corrected_bits;
             out.detected_uncorrectable = r.detected_uncorrectable;
             out.silent_corruption = r.silent_corruption;
+            out.stuck_bits = r.stuck_bits;
             if r.detected_uncorrectable {
                 self.counters.uncorrectable_reads += 1;
             }
@@ -685,7 +811,11 @@ impl DeviceModel for LwtScheme {
                 // last full write).
                 self.counters.differential_writes += 1;
                 let cells = self.sampler.differential_write_cells();
-                return differential_write(&self.energy, &self.timing, cells);
+                let mut out = differential_write(&self.energy, &self.params.timing, cells);
+                if let Some(w) = self.wear.as_mut() {
+                    w.apply_program(line, &self.params, &self.energy, &mut out);
+                }
+                return out;
             }
         }
         let st = self.table.get_mut(line, now_s);
@@ -694,14 +824,21 @@ impl DeviceModel for LwtScheme {
             st.flags.on_write(s);
         }
         self.counters.full_writes += 1;
-        full_line_write(&self.energy, &self.timing, slc)
+        let mut out = full_line_write(&self.energy, &self.params.timing, slc);
+        if let Some(w) = self.wear.as_mut() {
+            w.apply_program(line, &self.params, &self.energy, &mut out);
+        }
+        out
     }
 
     fn on_scrub(&mut self, line: u64, now_s: f64) -> ScrubOutcome {
         let st = *self.table.get_mut(line, now_s);
         let age = self.table.full_write_age(&st, now_s);
         let errors = self.sampler.bit_errors_m(age);
-        let rewrite = errors >= 1;
+        // Stuck bits eat into the BCH margin: force the rewrite so the
+        // wear controller sees the line and can remap it onto a spare.
+        let stuck = self.wear.as_ref().map_or(0, |w| w.stuck_cells(line));
+        let rewrite = errors >= 1 || stuck > 0;
         let slc = LwtFlags::storage_bits(self.k);
         let st = self.table.get_mut(line, now_s);
         st.last_scrub_s = now_s;
@@ -709,10 +846,18 @@ impl DeviceModel for LwtScheme {
         if rewrite {
             st.last_full_write_s = now_s;
         }
+        let mut rw = rewrite.then(|| full_line_write(&self.energy, &self.params.timing, slc));
+        if let (Some(w), Some(out)) = (self.wear.as_mut(), rw.as_mut()) {
+            w.apply_program(line, &self.params, &self.energy, out);
+        }
         ScrubOutcome {
-            read_latency_ns: self.timing.m_read_ns,
+            read_latency_ns: if stuck > 0 {
+                self.params.escalation_read_ns
+            } else {
+                self.params.timing.m_read_ns
+            },
             read_energy_pj: self.energy.scrub_scan_pj,
-            rewrite: rewrite.then(|| full_line_write(&self.energy, &self.timing, slc)),
+            rewrite: rw,
         }
     }
 
@@ -735,7 +880,7 @@ impl DeviceModel for LwtScheme {
 #[derive(Debug, Clone)]
 pub struct TlcScheme {
     energy: EnergyModel,
-    timing: SenseTiming,
+    params: DeviceParams,
     counters: SchemeCounters,
 }
 
@@ -748,7 +893,7 @@ impl TlcScheme {
     pub fn paper() -> Self {
         Self {
             energy: EnergyModel::paper(),
-            timing: SenseTiming::paper(),
+            params: DeviceParams::paper(),
             counters: SchemeCounters::default(),
         }
     }
@@ -767,17 +912,17 @@ impl Default for TlcScheme {
 
 impl DeviceModel for TlcScheme {
     fn on_read(&mut self, _line: u64, _now_s: f64) -> ReadOutcome {
-        ReadOutcome::basic(self.timing.r_read_ns, ReadMode::RRead, self.energy.r_read_pj)
+        ReadOutcome::basic(self.params.timing.r_read_ns, ReadMode::RRead, self.energy.r_read_pj)
     }
 
     fn on_write(&mut self, _line: u64, _now_s: f64) -> WriteOutcome {
         self.counters.full_writes += 1;
-        WriteOutcome {
-            latency_ns: self.timing.write_ns,
-            cells_written: TLC_LINE_CELLS,
-            slc_bits_written: 0,
-            energy_pj: TLC_LINE_CELLS as f64 * self.energy.write_cell_pj,
-        }
+        WriteOutcome::basic(
+            self.params.timing.write_ns,
+            TLC_LINE_CELLS,
+            0,
+            TLC_LINE_CELLS as f64 * self.energy.write_cell_pj,
+        )
     }
 
     fn on_scrub(&mut self, _line: u64, _now_s: f64) -> ScrubOutcome {

@@ -314,6 +314,87 @@ impl Bch {
         }
     }
 
+    /// Decodes an error pattern with *erasure hints*: positions the
+    /// controller knows are untrustworthy (stuck-at bits of worn-out
+    /// cells) without knowing their true values.
+    ///
+    /// Binary errors-and-erasures decoding by the classic two-trial
+    /// method, phrased in terms a real controller can execute: trial 0
+    /// decodes the word as read (the stuck bits may happen to be right);
+    /// if that fails detectably, trial 1 *flips every erased bit* and
+    /// decodes again. The residual error counts of the two trials are
+    /// `e + w` and `e + (f − w)` — `e` true errors outside the erasures,
+    /// `w` of the `f` erased bits wrong as read — so whenever
+    /// `e + max(w, f − w) ≤ t` one trial is guaranteed to land on the
+    /// true codeword, and in particular `e + f ≤ t` always corrects.
+    /// Erasure hints therefore extend reach: a line with `f` stuck bits
+    /// and a detectable trial-0 decode can still be recovered where the
+    /// plain decoder gave up.
+    ///
+    /// Returns [`PatternOutcome::Corrected`] with the *total* number of
+    /// wrong bits repaired (`errors.len()`, whichever trial succeeded),
+    /// [`PatternOutcome::Clean`] iff nothing was wrong,
+    /// [`PatternOutcome::Miscorrected`] when the accepted trial landed on
+    /// a codeword other than the true one, and
+    /// [`PatternOutcome::Detected`] when both trials fail detectably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any error or erasure position is out of codeword range
+    /// or repeated within its own list. Errors *may* overlap erasures —
+    /// that is the whole point.
+    pub fn decode_error_pattern_with_erasures(
+        &self,
+        errors: &[u16],
+        erasures: &[u16],
+    ) -> PatternOutcome {
+        // Validate both lists (and build trial 1's pattern) up front, so
+        // bad inputs panic whether or not the second trial runs.
+        let flipped = self.flip_erased(errors, erasures);
+        match self.decode_error_pattern(errors) {
+            out @ (PatternOutcome::Clean
+            | PatternOutcome::Corrected(_)
+            | PatternOutcome::Miscorrected) => out,
+            PatternOutcome::Detected => match self.decode_error_pattern(&flipped) {
+                // Trial 1 reaching the true codeword repairs every wrong
+                // bit: the erasure flips plus the decoder's own flips
+                // cancel `errors` exactly. (`Clean` here means the flips
+                // alone did it: every erased bit was wrong and nothing
+                // else — `errors == erasures` as sets.)
+                PatternOutcome::Clean | PatternOutcome::Corrected(_) => {
+                    PatternOutcome::Corrected(errors.len())
+                }
+                PatternOutcome::Miscorrected => PatternOutcome::Miscorrected,
+                PatternOutcome::Detected => PatternOutcome::Detected,
+            },
+        }
+    }
+
+    /// Validates `errors` and `erasures` and returns their symmetric
+    /// difference, ascending: the residual pattern after flipping every
+    /// erased bit of the received word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position is out of range or repeated within its list.
+    pub(crate) fn flip_erased(&self, errors: &[u16], erasures: &[u16]) -> Vec<u16> {
+        let n = self.codeword_bits();
+        let mut mark = vec![false; n];
+        for &p in errors {
+            assert!((p as usize) < n, "error position {p} outside {n}-bit codeword");
+            assert!(!mark[p as usize], "error position {p} repeated");
+            mark[p as usize] = true;
+        }
+        let mut seen = vec![false; n];
+        for &p in erasures {
+            assert!((p as usize) < n, "erasure position {p} outside {n}-bit codeword");
+            assert!(!seen[p as usize], "erasure position {p} repeated");
+            seen[p as usize] = true;
+            mark[p as usize] = !mark[p as usize];
+        }
+        (0..n).filter(|&i| mark[i]).map(|i| i as u16).collect()
+    }
+
     /// Berlekamp–Massey over GF(2^m). Returns σ as a coefficient vector
     /// (σ[0] = 1), or `None` on an internal inconsistency.
     pub(crate) fn berlekamp_massey(&self, synd: &[u32]) -> Option<Vec<u32>> {
@@ -587,5 +668,150 @@ mod tests {
     #[should_panic(expected = "repeated")]
     fn pattern_decode_rejects_duplicates() {
         let _ = paper_code().decode_error_pattern(&[3, 3]);
+    }
+
+    /// Unique random positions, allowed to overlap another list.
+    fn random_positions(rng: &mut StdRng, len: usize, nbits: usize) -> Vec<u16> {
+        let mut out: Vec<u16> = Vec::new();
+        while out.len() < len {
+            let p = rng.gen_range(0..nbits) as u16;
+            if !out.contains(&p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn erasure_decode_with_nothing_erased_matches_plain_decode() {
+        let code = paper_code();
+        let mut rng = StdRng::seed_from_u64(21);
+        for len in 0..=17 {
+            let errors = random_positions(&mut rng, len, code.codeword_bits());
+            assert_eq!(
+                code.decode_error_pattern_with_erasures(&errors, &[]),
+                code.decode_error_pattern(&errors),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn correct_stuck_bits_cost_nothing() {
+        // Erasures whose read value happens to be right leave trial 0
+        // untouched: the outcome equals the plain decode.
+        let code = paper_code();
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..50 {
+            let weight = rng.gen_range(0..=8);
+            let errors = random_positions(&mut rng, weight, code.codeword_bits());
+            let erasures: Vec<u16> = random_positions(&mut rng, 12, code.codeword_bits())
+                .into_iter()
+                .filter(|p| !errors.contains(p))
+                .collect();
+            assert_eq!(
+                code.decode_error_pattern_with_erasures(&errors, &erasures),
+                code.decode_error_pattern(&errors)
+            );
+        }
+    }
+
+    #[test]
+    fn e_plus_f_within_t_always_corrects() {
+        // The documented guarantee: e true errors outside the erasures
+        // plus f erased bits, e + f ≤ t, never fails and never lies.
+        let code = paper_code();
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..200 {
+            let f = rng.gen_range(0..=8usize);
+            let e = rng.gen_range(0..=(8 - f));
+            let erasures = random_positions(&mut rng, f, code.codeword_bits());
+            // Each erased bit is wrong or right by a coin flip; the e
+            // outside errors avoid the erased positions.
+            let mut errors: Vec<u16> = erasures.iter().copied().filter(|_| rng.gen()).collect();
+            while errors.len() < e + erasures.iter().filter(|p| errors.contains(p)).count() {
+                let p = rng.gen_range(0..code.codeword_bits()) as u16;
+                if !errors.contains(&p) && !erasures.contains(&p) {
+                    errors.push(p);
+                }
+            }
+            let out = code.decode_error_pattern_with_erasures(&errors, &erasures);
+            if errors.is_empty() {
+                assert_eq!(out, PatternOutcome::Clean);
+            } else {
+                assert_eq!(
+                    out,
+                    PatternOutcome::Corrected(errors.len()),
+                    "e={e} f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn erasures_extend_reach_past_t() {
+        // A stuck-heavy line: 12 erased bits all wrong plus 2 drift
+        // errors — 14 errors, far past t=8 — recovers whenever trial 0
+        // fails detectably, because flipping the erased bits leaves only
+        // the 2 drift errors.
+        let code = paper_code();
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut recovered = 0u32;
+        for _ in 0..50 {
+            let erasures = random_positions(&mut rng, 12, code.codeword_bits());
+            let mut errors = erasures.clone();
+            while errors.len() < 14 {
+                let p = rng.gen_range(0..code.codeword_bits()) as u16;
+                if !errors.contains(&p) {
+                    errors.push(p);
+                }
+            }
+            if code.decode_error_pattern(&errors) == PatternOutcome::Detected {
+                assert_eq!(
+                    code.decode_error_pattern_with_erasures(&errors, &erasures),
+                    PatternOutcome::Corrected(14)
+                );
+                recovered += 1;
+            }
+        }
+        assert!(recovered > 30, "trial 0 should usually detect: {recovered}");
+    }
+
+    #[test]
+    fn all_wrong_all_erased_recovers_via_the_flip_trial_alone() {
+        // errors == erasures beyond t: trial 1's flips cancel everything
+        // (its residual is empty), exercising the Clean→Corrected branch.
+        let code = paper_code();
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut hit = false;
+        for _ in 0..50 {
+            let positions = random_positions(&mut rng, 12, code.codeword_bits());
+            if code.decode_error_pattern(&positions) == PatternOutcome::Detected {
+                assert_eq!(
+                    code.decode_error_pattern_with_erasures(&positions, &positions),
+                    PatternOutcome::Corrected(12)
+                );
+                hit = true;
+            }
+        }
+        assert!(hit, "no trial-0 detection in 50 draws");
+    }
+
+    #[test]
+    #[should_panic(expected = "erasure position 592 outside")]
+    fn erasure_decode_rejects_out_of_range_erasures() {
+        let _ = paper_code().decode_error_pattern_with_erasures(&[1], &[592]);
+    }
+
+    #[test]
+    #[should_panic(expected = "erasure position 7 repeated")]
+    fn erasure_decode_rejects_duplicate_erasures() {
+        let _ = paper_code().decode_error_pattern_with_erasures(&[1], &[7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "error position 3 repeated")]
+    fn erasure_decode_rejects_duplicate_errors_even_when_trial_0_would_catch() {
+        let _ = paper_code().decode_error_pattern_with_erasures(&[3, 3], &[9]);
     }
 }

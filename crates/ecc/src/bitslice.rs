@@ -158,6 +158,68 @@ impl BchBitslice {
             .collect()
     }
 
+    /// Decodes up to [`LANES`] error patterns with per-lane *erasure
+    /// hints* in bitsliced batches: the lane-for-lane counterpart of
+    /// [`Bch::decode_error_pattern_with_erasures`].
+    ///
+    /// Trial 0 (the word as read) runs for all lanes in one
+    /// [`decode_patterns`] pass; only the lanes it left `Detected` pay
+    /// for trial 1, which flips their erased bits and re-decodes them in
+    /// a second batch. Lane outcomes are pinned to the scalar oracle by
+    /// the erasure property suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `errors` and `erasures` disagree in length, more than
+    /// [`LANES`] lanes are passed, or any lane holds an out-of-range or
+    /// repeated position within one of its lists.
+    ///
+    /// [`decode_patterns`]: BchBitslice::decode_patterns
+    /// [`Bch::decode_error_pattern_with_erasures`]:
+    ///     crate::Bch::decode_error_pattern_with_erasures
+    pub fn decode_patterns_with_erasures(
+        &self,
+        errors: &[&[u16]],
+        erasures: &[&[u16]],
+    ) -> Vec<PatternOutcome> {
+        assert_eq!(
+            errors.len(),
+            erasures.len(),
+            "one erasure set per lane ({} vs {})",
+            errors.len(),
+            erasures.len()
+        );
+        // Validate every lane (and build its trial-1 pattern) up front:
+        // like the scalar path, bad inputs panic whether or not that lane
+        // reaches the second trial.
+        let flipped: Vec<Vec<u16>> = errors
+            .iter()
+            .zip(erasures)
+            .map(|(e, f)| self.code.flip_erased(e, f))
+            .collect();
+        let mut out = self.decode_patterns(errors);
+        let retry: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o, PatternOutcome::Detected))
+            .map(|(i, _)| i)
+            .collect();
+        if retry.is_empty() {
+            return out;
+        }
+        let pats: Vec<&[u16]> = retry.iter().map(|&i| flipped[i].as_slice()).collect();
+        for (&i, second) in retry.iter().zip(self.decode_patterns(&pats)) {
+            out[i] = match second {
+                PatternOutcome::Clean | PatternOutcome::Corrected(_) => {
+                    PatternOutcome::Corrected(errors[i].len())
+                }
+                PatternOutcome::Miscorrected => PatternOutcome::Miscorrected,
+                PatternOutcome::Detected => PatternOutcome::Detected,
+            };
+        }
+        out
+    }
+
     /// Completes one dirty lane: the Berlekamp–Massey / Chien / verify
     /// tail of the scalar decoder, fed the syndromes gathered from the
     /// slices. Mirrors `Bch::decode` + `decode_error_pattern` step for
@@ -298,6 +360,55 @@ mod tests {
         let code = paper_code();
         let bad: &[u16] = &[3, 3];
         let _ = BchBitslice::new(&code).decode_patterns(&[bad]);
+    }
+
+    #[test]
+    fn erasure_lanes_match_the_scalar_erasure_oracle() {
+        // Adversarial mix per lane: erasures overlapping, containing, or
+        // disjoint from the errors, at weights spanning clean to far past
+        // t — every lane must agree with the scalar two-trial decoder.
+        let code = paper_code();
+        let sliced = BchBitslice::new(&code);
+        let mut rng = StdRng::seed_from_u64(77);
+        for round in 0..4 {
+            let mut errs: Vec<Vec<u16>> = Vec::new();
+            let mut eras: Vec<Vec<u16>> = Vec::new();
+            for lane in 0..LANES {
+                let e = random_pattern(&mut rng, lane % 18, code.codeword_bits());
+                let f = match lane % 4 {
+                    // Disjoint erasures.
+                    0 => random_pattern(&mut rng, 6, code.codeword_bits())
+                        .into_iter()
+                        .filter(|p| !e.contains(p))
+                        .collect(),
+                    // Erasures ⊆ errors (every stuck bit wrong).
+                    1 => e.iter().copied().take(lane % 9).collect(),
+                    // Free overlap.
+                    2 => random_pattern(&mut rng, lane % 14, code.codeword_bits()),
+                    // No hints at all.
+                    _ => Vec::new(),
+                };
+                errs.push(e);
+                eras.push(f);
+            }
+            let er: Vec<&[u16]> = errs.iter().map(Vec::as_slice).collect();
+            let fr: Vec<&[u16]> = eras.iter().map(Vec::as_slice).collect();
+            for (lane, out) in sliced.decode_patterns_with_erasures(&er, &fr).into_iter().enumerate() {
+                assert_eq!(
+                    out,
+                    code.decode_error_pattern_with_erasures(&errs[lane], &eras[lane]),
+                    "round {round} lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one erasure set per lane")]
+    fn erasure_lane_count_mismatch_rejected() {
+        let code = paper_code();
+        let e: &[u16] = &[1];
+        let _ = BchBitslice::new(&code).decode_patterns_with_erasures(&[e, e], &[e]);
     }
 
     #[test]

@@ -182,6 +182,30 @@ pub fn recognized() -> &'static [EnvVar] {
             default: "1",
             doc: "Use the bitsliced 64-lane BCH decoder in fault injection (0 forces the scalar oracle)",
         },
+        EnvVar {
+            name: "READDUO_WEAR",
+            kind: EnvKind::Flag,
+            default: "0",
+            doc: "Enable the endurance model: wear-out hard faults, write-verify retry and spare-line remapping",
+        },
+        EnvVar {
+            name: "READDUO_ENDURANCE_MEAN",
+            kind: EnvKind::Count { min: 1 },
+            default: "10000000",
+            doc: "Median cycles-to-failure of the lognormal per-cell endurance distribution",
+        },
+        EnvVar {
+            name: "READDUO_VERIFY_RETRIES",
+            kind: EnvKind::Count { min: 0 },
+            default: "3",
+            doc: "Write-verify re-pulse budget per failed cell before it is declared dead",
+        },
+        EnvVar {
+            name: "READDUO_SPARE_LINES",
+            kind: EnvKind::Count { min: 0 },
+            default: "64",
+            doc: "Spare lines available per device/channel for remapping over-margin worn lines",
+        },
     ];
     VARS
 }

@@ -49,6 +49,9 @@ pub struct ReadOutcome {
     /// The read returned wrong data without any error indication — the
     /// failure mode the paper's detect/correct decoupling minimises.
     pub silent_corruption: bool,
+    /// Stuck-at bits of worn-out cells that read back *wrong* on this
+    /// access (they entered the decode as erasure-hinted errors).
+    pub stuck_bits: u32,
 }
 
 impl ReadOutcome {
@@ -67,6 +70,7 @@ impl ReadOutcome {
             ecc_corrected_bits: 0,
             detected_uncorrectable: false,
             silent_corruption: false,
+            stuck_bits: 0,
         }
     }
 }
@@ -83,6 +87,34 @@ pub struct WriteOutcome {
     pub slc_bits_written: u32,
     /// Dynamic energy, pJ.
     pub energy_pj: f64,
+    /// Write-verify retry pulses issued because a cell failed to program
+    /// (wear subsystem; latency/energy already folded in).
+    pub verify_retries: u32,
+    /// Cells declared dead by this write after the retry budget ran out.
+    pub cells_failed: u32,
+    /// This write pushed the line over its stuck-cell margin and remapped
+    /// it to a spare line (remap latency already folded in).
+    pub remapped: bool,
+    /// A remap was wanted but the channel's spare pool was empty — the
+    /// line soldiers on and its errors fall to the erasure-aware decoder.
+    pub spares_exhausted: bool,
+}
+
+impl WriteOutcome {
+    /// A plain successful write. Wear-free construction sites use struct
+    /// update syntax on top of this so wear-path fields don't churn them.
+    pub fn basic(latency_ns: u64, cells_written: u32, slc_bits_written: u32, energy_pj: f64) -> Self {
+        Self {
+            latency_ns,
+            cells_written,
+            slc_bits_written,
+            energy_pj,
+            verify_retries: 0,
+            cells_failed: 0,
+            remapped: false,
+            spares_exhausted: false,
+        }
+    }
 }
 
 /// What a scrub visit did.
@@ -208,24 +240,24 @@ impl DeviceModel for FixedLatencyDevice {
     }
 
     fn on_write(&mut self, _line: u64, _now_s: f64) -> WriteOutcome {
-        WriteOutcome {
-            latency_ns: self.write_ns,
-            cells_written: self.cells_per_write,
-            slc_bits_written: 0,
-            energy_pj: self.cells_per_write as f64 * self.energy.write_cell_pj,
-        }
+        WriteOutcome::basic(
+            self.write_ns,
+            self.cells_per_write,
+            0,
+            self.cells_per_write as f64 * self.energy.write_cell_pj,
+        )
     }
 
     fn on_scrub(&mut self, _line: u64, _now_s: f64) -> ScrubOutcome {
         ScrubOutcome {
             read_latency_ns: self.read_ns,
             read_energy_pj: self.energy.r_read_pj,
-            rewrite: self.scrub_rewrites.then_some(WriteOutcome {
-                latency_ns: self.write_ns,
-                cells_written: self.cells_per_write,
-                slc_bits_written: 0,
-                energy_pj: self.cells_per_write as f64 * self.energy.write_cell_pj,
-            }),
+            rewrite: self.scrub_rewrites.then_some(WriteOutcome::basic(
+                self.write_ns,
+                self.cells_per_write,
+                0,
+                self.cells_per_write as f64 * self.energy.write_cell_pj,
+            )),
         }
     }
 

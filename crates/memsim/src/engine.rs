@@ -427,6 +427,10 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                     self.report.reads_errored += 1;
                 }
                 self.report.ecc_corrected_bits += out.ecc_corrected_bits as u64;
+                if out.stuck_bits > 0 {
+                    self.report.stuck_bit_reads += 1;
+                    self.report.stuck_bits_seen += out.stuck_bits as u64;
+                }
                 if out.detected_uncorrectable {
                     self.report.detected_uncorrectable += 1;
                 }
@@ -438,6 +442,7 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                 }
                 if let Some(cw) = out.conversion {
                     self.report.conversions += 1;
+                    self.record_wear(b, &cw, done);
                     // Conversion writes bypass the queue-capacity stall (the
                     // controller owns them) but share the queue.
                     self.banks[b].queue.push_back(WriteJob {
@@ -458,6 +463,7 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                     self.report.energy_corrective_pj += cw.energy_pj;
                     self.report.cells_written_corrective += cw.cells_written as u64;
                     self.report.slc_bits_written += cw.slc_bits_written as u64;
+                    self.record_wear(b, &cw, done);
                     // Corrective rewrites are controller-owned like
                     // conversions: queued on the bank, exempt from the
                     // demand-write capacity stall.
@@ -491,6 +497,7 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                 self.report.energy_write_pj += out.energy_pj;
                 self.report.cells_written_demand += out.cells_written as u64;
                 self.report.slc_bits_written += out.slc_bits_written as u64;
+                self.record_wear(b, &out, now);
                 self.banks[b].queue.push_back(WriteJob {
                     outcome: out,
                     source: WriteSource::Demand,
@@ -501,6 +508,28 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                 self.schedule_kick_or_run(b, now.max(self.banks[b].busy_until), now);
                 // Posted write: the core moves on immediately.
                 self.advance_core(core, op.icount, now)
+            }
+        }
+    }
+
+    /// Tallies the wear-path side of a write outcome (verify retries,
+    /// dead cells, remaps, spare exhaustion), wherever the write was
+    /// scheduled. Attribution happens at scheduling time like corrective
+    /// traffic: a queued job that gets cancelled and re-executed must not
+    /// wear its line twice. Pure counter adds while wear is disabled —
+    /// every field stays zero — so wear-off runs are bit-for-bit
+    /// unchanged.
+    fn record_wear(&mut self, b: usize, w: &crate::device::WriteOutcome, at: u64) {
+        self.report.verify_retries += w.verify_retries as u64;
+        self.report.wear_cells_failed += w.cells_failed as u64;
+        self.report.lines_remapped += w.remapped as u64;
+        self.report.spares_exhausted_writes += w.spares_exhausted as u64;
+        if let Some(tel) = &mut self.tel {
+            if w.remapped {
+                tel.trace.instant(b as u32, "line-remap", at);
+            }
+            if w.spares_exhausted {
+                tel.trace.instant(b as u32, "spares-exhausted", at);
             }
         }
     }
@@ -648,6 +677,7 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
             self.report.energy_scrub_pj += rw.energy_pj;
             self.report.cells_written_scrub += rw.cells_written as u64;
             self.report.slc_bits_written += rw.slc_bits_written as u64;
+            self.record_wear(b, &rw, start);
         }
         self.banks[b].busy_until = start + dur;
         self.banks[b].executing_write = None;
@@ -797,19 +827,14 @@ mod tests {
     impl DeviceModel for ConvertingDevice {
         fn on_read(&mut self, _line: u64, _now_s: f64) -> ReadOutcome {
             ReadOutcome {
-                conversion: Some(WriteOutcome {
-                    latency_ns: 1000,
-                    cells_written: 256,
-                    slc_bits_written: 6,
-                    energy_pj: 2.0,
-                }),
+                conversion: Some(WriteOutcome::basic(1000, 256, 6, 2.0)),
                 untracked: true,
                 drift_errors: 3,
                 ..ReadOutcome::basic(600, ReadMode::RmRead, 1.0)
             }
         }
         fn on_write(&mut self, _line: u64, _now_s: f64) -> WriteOutcome {
-            WriteOutcome { latency_ns: 1000, cells_written: 256, slc_bits_written: 0, energy_pj: 2.0 }
+            WriteOutcome::basic(1000, 256, 0, 2.0)
         }
         fn on_scrub(&mut self, _line: u64, _now_s: f64) -> ScrubOutcome {
             ScrubOutcome { read_latency_ns: 150, read_energy_pj: 1.0, rewrite: None }
@@ -854,7 +879,7 @@ mod tests {
                 }
             }
             fn on_write(&mut self, _line: u64, _now_s: f64) -> WriteOutcome {
-                WriteOutcome { latency_ns: 1000, cells_written: 256, slc_bits_written: 0, energy_pj: 2.0 }
+                WriteOutcome::basic(1000, 256, 0, 2.0)
             }
             fn on_scrub(&mut self, _line: u64, _now_s: f64) -> ScrubOutcome {
                 ScrubOutcome { read_latency_ns: 150, read_energy_pj: 1.0, rewrite: None }
@@ -895,19 +920,14 @@ mod tests {
                 ReadOutcome {
                     drift_errors: 5,
                     ecc_corrected_bits: 5,
-                    corrective: Some(WriteOutcome {
-                        latency_ns: 1000,
-                        cells_written: 296,
-                        slc_bits_written: 2,
-                        energy_pj: 3.0,
-                    }),
+                    corrective: Some(WriteOutcome::basic(1000, 296, 2, 3.0)),
                     detected_uncorrectable: self.calls == 2,
                     silent_corruption: self.calls == 3,
                     ..ReadOutcome::basic(600, ReadMode::RmRead, 2.2)
                 }
             }
             fn on_write(&mut self, _line: u64, _now_s: f64) -> WriteOutcome {
-                WriteOutcome { latency_ns: 1000, cells_written: 256, slc_bits_written: 0, energy_pj: 2.0 }
+                WriteOutcome::basic(1000, 256, 0, 2.0)
             }
             fn on_scrub(&mut self, _line: u64, _now_s: f64) -> ScrubOutcome {
                 ScrubOutcome { read_latency_ns: 150, read_energy_pj: 1.0, rewrite: None }
@@ -945,7 +965,7 @@ mod tests {
                 ReadOutcome::basic(150, ReadMode::RRead, 2.0)
             }
             fn on_write(&mut self, _line: u64, _now_s: f64) -> WriteOutcome {
-                WriteOutcome { latency_ns: 1000, cells_written: 256, slc_bits_written: 0, energy_pj: 2.0 }
+                WriteOutcome::basic(1000, 256, 0, 2.0)
             }
             fn on_scrub(&mut self, line: u64, _now_s: f64) -> ScrubOutcome {
                 self.visits.push(line);

@@ -142,6 +142,19 @@ pub struct SimReport {
     /// End-to-end latency of escalated (R-M) reads only — the retry-path
     /// tail the paper's Figure 4 worries about.
     pub retry_latency: LatencySummary,
+    /// Write-verify retry pulses issued for cells that failed to program
+    /// (wear subsystem; zero while wear is disabled).
+    pub verify_retries: u64,
+    /// Cells declared dead after exhausting their retry budget.
+    pub wear_cells_failed: u64,
+    /// Lines remapped to a spare after crossing the stuck-cell margin.
+    pub lines_remapped: u64,
+    /// Writes that wanted a remap but found the spare pool empty.
+    pub spares_exhausted_writes: u64,
+    /// Reads that saw at least one wrong stuck-at bit.
+    pub stuck_bit_reads: u64,
+    /// Total wrong stuck-at bits entering the erasure-aware decoder.
+    pub stuck_bits_seen: u64,
 }
 
 impl SimReport {
@@ -221,6 +234,12 @@ impl SimReport {
         self.cells_written_corrective += other.cells_written_corrective;
         self.energy_corrective_pj += other.energy_corrective_pj;
         self.retry_latency.merge(&other.retry_latency);
+        self.verify_retries += other.verify_retries;
+        self.wear_cells_failed += other.wear_cells_failed;
+        self.lines_remapped += other.lines_remapped;
+        self.spares_exhausted_writes += other.spares_exhausted_writes;
+        self.stuck_bit_reads += other.stuck_bit_reads;
+        self.stuck_bits_seen += other.stuck_bits_seen;
     }
 
     /// Merges per-channel reports (in channel order) into one run report.

@@ -48,6 +48,7 @@ pub mod sensing;
 pub mod slc;
 pub mod state;
 pub mod tlc;
+pub mod wear;
 
 pub use cell::MlcCell;
 pub use drift::{drift_exponent, log_metric_at, log_metric_at_slice, log_metric_at_u, time_to_cross};
@@ -55,7 +56,8 @@ pub use fault::{FaultModel, LineFaults};
 pub use iv::{IvCurve, ReadBias};
 pub use line::{MlcLine, SensedLine};
 pub use params::{LevelParams, MetricConfig, MetricKind, CELLS_PER_LINE, LINE_BYTES};
-pub use sensing::SenseTiming;
+pub use sensing::{DeviceParams, SenseTiming};
 pub use slc::SlcArray;
 pub use state::CellLevel;
 pub use tlc::TlcConfig;
+pub use wear::{WearModel, ENDURANCE_MEDIAN_DEFAULT, ENDURANCE_SIGMA_LN};

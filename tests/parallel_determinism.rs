@@ -30,13 +30,31 @@ fn run_matrix_is_identical_across_thread_counts() {
     ];
     let workloads = [Workload::toy(), Workload::by_name("gcc").expect("gcc")];
 
+    // Worn runs ride the same env flips: with hard faults and remapping
+    // enabled the merged report must still be independent of the pool
+    // width (the wear table is per-channel state like everything else).
+    let wear = readduo::core::WearConfig::new(0x00FA_0017).with_accel(4_000_000);
+    let worn_scheme = SchemeKind::Select { k: 4, s: 2 };
+    let worn_workload = Workload::by_name("mcf").expect("mcf");
+
     std::env::set_var("READDUO_THREADS", "4");
     let parallel = harness.run_matrix(&schemes, &workloads);
     let streamed_par = harness.run_matrix_streamed(&schemes, &workloads);
+    let worn_par = harness
+        .run_one_worn(&worn_workload, worn_scheme, 0x00FA_0017, wear)
+        .expect("Select is injectable");
     std::env::set_var("READDUO_THREADS", "1");
     let sequential = harness.run_matrix(&schemes, &workloads);
     let streamed_seq = harness.run_matrix_streamed(&schemes, &workloads);
+    let worn_seq = harness
+        .run_one_worn(&worn_workload, worn_scheme, 0x00FA_0017, wear)
+        .expect("Select is injectable");
     std::env::remove_var("READDUO_THREADS");
+
+    assert_eq!(
+        worn_par.report, worn_seq.report,
+        "worn run diverged across thread counts"
+    );
 
     assert_eq!(parallel.len(), schemes.len() * workloads.len());
     assert_eq!(sequential.len(), parallel.len());

@@ -491,6 +491,118 @@ fn to_u16(positions: impl IntoIterator<Item = usize>) -> Vec<u16> {
     positions.into_iter().map(|p| p as u16).collect()
 }
 
+/// Every lane of the bitsliced *erasure-aware* decoder returns exactly
+/// the scalar oracle's verdict. Each case fills all 64 lanes with the
+/// stuck-bit shapes the wear subsystem produces plus adversarial ones —
+/// wrong ⊆ erased with `f ≤ t` (the guaranteed-correct hint), erased
+/// positions that read right (hints that cost a trial but flip nothing
+/// wrong), drift errors outside the erasure set near the `e + f ≤ 2t`
+/// boundary, erasure sets far beyond capacity, and the degenerate empty
+/// hint that must collapse to the plain decode.
+#[test]
+fn bch_erasure_decode_matches_scalar_oracle_bitsliced() {
+    check(
+        "bch_erasure_decode_matches_scalar_oracle_bitsliced",
+        |rng| {
+            let (code, _) = bch_pair();
+            let nbits = code.codeword_bits();
+            (0..BITSLICE_LANES)
+                .map(|lane| match lane % 8 {
+                    0 => (Vec::new(), Vec::new()),
+                    1 => {
+                        // The steady-state wear shape: every wrong bit is
+                        // a known-dead cell, f <= t.
+                        let erased = gen_subset(rng, nbits, 1, 8);
+                        let wrong: Vec<u16> = erased
+                            .iter()
+                            .filter(|_| rng.gen_range(0u32..2) == 0)
+                            .map(|&p| p as u16)
+                            .collect();
+                        (wrong, to_u16(erased))
+                    }
+                    2 => {
+                        // Empty hint: must be the plain decode verdict.
+                        (to_u16(gen_subset(rng, nbits, 0, 12)), Vec::new())
+                    }
+                    3 => {
+                        // Stuck bits plus drift outside the hint, mixed
+                        // weights straddling the e + f <= 2t boundary.
+                        let erased = gen_subset(rng, nbits, 1, 8);
+                        let mut wrong: Vec<u16> = erased
+                            .iter()
+                            .filter(|_| rng.gen_range(0u32..2) == 0)
+                            .map(|&p| p as u16)
+                            .collect();
+                        wrong.extend(
+                            gen_subset(rng, nbits, 0, 8)
+                                .into_iter()
+                                .filter(|p| !erased.contains(p))
+                                .map(|p| p as u16),
+                        );
+                        wrong.sort_unstable();
+                        (wrong, to_u16(erased))
+                    }
+                    4 => {
+                        // Hints alone, none of them actually wrong: the
+                        // erasure trial flips healthy bits and must still
+                        // agree with the oracle.
+                        (Vec::new(), to_u16(gen_subset(rng, nbits, 1, 16)))
+                    }
+                    5 => {
+                        // Far beyond capacity: 2x the margin and more.
+                        let erased = gen_subset(rng, nbits, 17, 40);
+                        let wrong: Vec<u16> = erased
+                            .iter()
+                            .filter(|_| rng.gen_range(0u32..2) == 0)
+                            .map(|&p| p as u16)
+                            .collect();
+                        (wrong, to_u16(erased))
+                    }
+                    6 => {
+                        // Adversarial: heavy unrelated errors with a hint
+                        // that points mostly at the wrong cells.
+                        (
+                            to_u16(gen_subset(rng, nbits, 0, 60)),
+                            to_u16(gen_subset(rng, nbits, 1, 16)),
+                        )
+                    }
+                    _ => (
+                        to_u16(gen_subset(rng, nbits, 0, 24)),
+                        to_u16(gen_subset(rng, nbits, 0, 16)),
+                    ),
+                })
+                .collect::<Vec<(Vec<u16>, Vec<u16>)>>()
+        },
+        |lanes| {
+            let (code, sliced) = bch_pair();
+            let nbits = code.codeword_bits();
+            let in_domain = |p: &[u16]| {
+                p.iter().all(|&b| (b as usize) < nbits) && p.windows(2).all(|w| w[0] < w[1])
+            };
+            if lanes.len() > BITSLICE_LANES
+                || lanes.iter().any(|(e, f)| !in_domain(e) || !in_domain(f))
+            {
+                return Ok(());
+            }
+            let errs: Vec<&[u16]> = lanes.iter().map(|(e, _)| e.as_slice()).collect();
+            let eras: Vec<&[u16]> = lanes.iter().map(|(_, f)| f.as_slice()).collect();
+            let batch = sliced.decode_patterns_with_erasures(&errs, &eras);
+            ensure_eq!(batch.len(), lanes.len());
+            for (lane, (errors, erasures)) in lanes.iter().enumerate() {
+                let oracle = code.decode_error_pattern_with_erasures(errors, erasures);
+                ensure!(
+                    batch[lane] == oracle,
+                    "lane {lane} e={} f={}: bitsliced {:?} != scalar {oracle:?}",
+                    errors.len(),
+                    erasures.len(),
+                    batch[lane]
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
 /// The batched Cody kernels are the scalar functions, bit for bit, at
 /// every slot — over magnitudes from deep underflow to both saturated
 /// tails, either sign, and zero.

@@ -158,6 +158,65 @@ impl OpSource for SyntheticSource {
     }
 }
 
+/// The same differential gate with the endurance model switched on: hard
+/// faults, write-verify retries and spare-line remapping are all channel-
+/// local state, so a worn sharded run must still be bit-for-bit the
+/// sequential single-wheel reference at every pool width. The aging is
+/// accelerated enough that cells actually die and lines actually remap —
+/// an unreached wear table would make this leg vacuous.
+#[test]
+fn sharded_engine_matches_sequential_reference_under_wear() {
+    use readduo::core::WearConfig;
+    let widths = pool_widths();
+    let injectable = [
+        SchemeKind::Scrubbing,
+        SchemeKind::Hybrid,
+        SchemeKind::Lwt { k: 4 },
+        SchemeKind::Select { k: 4, s: 2 },
+    ];
+    let w = Workload::by_name("mcf").expect("mcf in the SPEC2006 set");
+    let trace = trace_for(&w);
+    let seed = SEED ^ w.name.len() as u64;
+    let fault_seed = 0x00FA_0017u64;
+    let wear = WearConfig::new(fault_seed).with_accel(4_000_000);
+    let mut total_remaps = 0u64;
+    for &scheme in &injectable {
+        for channels in [1usize, 2, 8] {
+            let sim = Simulator::new(MemoryConfig::small_test().with_channels(channels));
+            let device = |ch: usize| {
+                let ch_wear = WearConfig {
+                    seed: channel_seed(wear.seed, ch),
+                    ..wear
+                };
+                scheme
+                    .build_worn(
+                        channel_seed(seed, ch),
+                        channel_seed(fault_seed, ch),
+                        ch_wear,
+                        0,
+                        0,
+                    )
+                    .expect("injectable scheme")
+            };
+            let reference = sim.run_sharded_reference(|_| TraceCursor::new(&trace), device);
+            total_remaps += reference.lines_remapped;
+            for &workers in &widths {
+                let sharded =
+                    sim.run_sharded(&Pool::new(workers), |_| TraceCursor::new(&trace), device);
+                assert_eq!(
+                    sharded, reference,
+                    "{scheme} channels={channels} workers={workers}: \
+                     worn sharded run diverged from the sequential reference"
+                );
+            }
+        }
+    }
+    assert!(
+        total_remaps > 0,
+        "the worn equivalence leg must actually exercise remapping"
+    );
+}
+
 /// Edge case: congestion does not cross channels. Core 0 hammers writes
 /// into channel 0 against a device with a pathological write latency —
 /// its per-bank write queues fill and stall core 0 — while core 1 reads
