@@ -172,6 +172,51 @@ if ! cmp -s target/experiments/fig9-wear-off.csv target/experiments/fig9.csv; th
     exit 1
 fi
 
+# DRAM-tier gate, three directions. (1) Disabled identity: with every
+# DRAM knob exported but READDUO_DRAM left off, a fig9 smoke must be
+# byte-identical to the plain run — the tier is strictly opt-in, like
+# wear and fault injection. (2) A seeded dram_sweep smoke run twice must
+# produce a byte-identical CSV (the tier owns no RNG; migration,
+# eviction and writeback order all replay), and the threshold-1 rows
+# must actually hit in DRAM — a cold tier would make the gate vacuous.
+# (3) Telemetry on a tiered run must emit the dram.hit/dram.miss/
+# dram.promote instants the migration path promises.
+echo "==> dram gate (disabled identity + seeded sweep twice + byte-diff, budget 180 s)"
+READDUO_INSTR=50000 ./target/release/fig9 >/dev/null
+cp target/experiments/fig9.csv target/experiments/fig9-dram-off.csv
+READDUO_DRAM=0 READDUO_DRAM_LINES=1024 READDUO_DRAM_WAYS=4 \
+    READDUO_DRAM_THRESHOLD=1 READDUO_DRAM_POLICY=clock \
+    READDUO_INSTR=50000 ./target/release/fig9 >/dev/null
+if ! cmp -s target/experiments/fig9-dram-off.csv target/experiments/fig9.csv; then
+    echo "    FAIL: disabled DRAM tier perturbed the fig9 CSV" >&2
+    exit 1
+fi
+dcsv="target/experiments/dram_sweep.csv"
+start=$(date +%s)
+READDUO_INSTR=50000 ./target/release/dram_sweep >/dev/null
+cp "$dcsv" target/experiments/dram-sweep-a.csv
+READDUO_INSTR=50000 ./target/release/dram_sweep >/dev/null
+elapsed=$(( $(date +%s) - start ))
+echo "    dram sweeps took ${elapsed}s"
+if ! cmp -s target/experiments/dram-sweep-a.csv "$dcsv"; then
+    echo "    FAIL: dram_sweep CSV differs across identical seeded runs" >&2
+    exit 1
+fi
+if ! awk -F, 'NR > 1 && $3 == 1 && $4 > 0 { found = 1 } END { exit !found }' "$dcsv"; then
+    echo "    FAIL: DRAM tier never hit at migration threshold 1" >&2
+    exit 1
+fi
+if [ "$elapsed" -gt 180 ]; then
+    echo "    FAIL: dram sweeps exceeded the 180 s budget" >&2
+    exit 1
+fi
+dtrace="target/experiments/ci-dram-trace.json"
+READDUO_TELEMETRY=1 READDUO_TRACE_CAP=100000 READDUO_INSTR=50000 \
+    READDUO_TRACE_OUT="$dtrace" \
+    ./target/release/fig9 --dram-lines 4096 >/dev/null
+./target/release/trace_check "$dtrace" \
+    --require dram.hit --require dram.miss --require dram.promote
+
 # Clippy ships with rustup toolchains but may be absent in minimal
 # containers; the gate is advisory there rather than a hard failure.
 if cargo clippy --version >/dev/null 2>&1; then

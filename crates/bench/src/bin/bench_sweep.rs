@@ -206,6 +206,69 @@ fn main() {
         (ms, r1.report.lines_remapped, r1.report.verify_retries)
     };
 
+    // DRAM-tier leg: a seeded capacity mini-sweep on mcf/LWT-4 with
+    // migrate-on-first-miss. Three claims are pinned under the
+    // benchmark's eye: (1) the tiered run is repeat-identical from the
+    // same seed, (2) the hit rate grows monotonically with capacity,
+    // (3) at the top capacity the tier measurably reduces both PCM write
+    // traffic and the LWT escalation rate (demotion writebacks reset the
+    // victims' drift age; DRAM hits never escalate).
+    let (dram_ms, dram_hit_rates, dram_cells_ratio, dram_rm_base, dram_rm_tiered) = {
+        let w = workloads
+            .iter()
+            .find(|w| w.name == "mcf")
+            .expect("spec2006 includes mcf");
+        let scheme = SchemeKind::Lwt { k: 4 };
+        let caps: [u64; 3] = [4_096, 16_384, 65_536];
+        let trace = h.trace_for(w);
+        let base = h.run_on_trace(w, &trace, scheme);
+        let t = Instant::now();
+        let runs: Vec<_> = caps
+            .iter()
+            .map(|&cap| {
+                let dram =
+                    readduo_dram::DramConfig::new(h.seed, cap).with_threshold(1);
+                h.run_tiered_on_trace(w, &trace, scheme, dram)
+            })
+            .collect();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let again = h.run_tiered_on_trace(
+            w,
+            &trace,
+            scheme,
+            readduo_dram::DramConfig::new(h.seed, caps[1]).with_threshold(1),
+        );
+        assert_eq!(runs[1].report, again.report, "tiered run is not deterministic");
+        let hit_rates: Vec<f64> = runs.iter().map(|r| r.report.dram_hit_rate()).collect();
+        assert!(
+            hit_rates.windows(2).all(|p| p[1] >= p[0]) && hit_rates[2] > hit_rates[0],
+            "hit rate must grow with DRAM capacity: {hit_rates:?}"
+        );
+        let top = &runs[2].report;
+        let cells_ratio =
+            top.cells_written_total() as f64 / base.report.cells_written_total().max(1) as f64;
+        assert!(
+            cells_ratio < 1.0,
+            "the tier must reduce PCM write traffic (ratio {cells_ratio})"
+        );
+        assert!(
+            top.rm_read_rate() < base.report.rm_read_rate(),
+            "the tier must reduce the LWT escalation rate ({} vs {})",
+            top.rm_read_rate(),
+            base.report.rm_read_rate()
+        );
+        assert_eq!(top.silent_corruptions, 0, "the tier must not corrupt silently");
+        eprintln!(
+            "dram: {scheme} on {} tiered at {caps:?} lines: {ms:.0} ms, hit rates \
+             {hit_rates:?}, cells vs base {cells_ratio:.3}, rm rate {:.5} -> {:.5} \
+             — repeat identical",
+            w.name,
+            base.report.rm_read_rate(),
+            top.rm_read_rate()
+        );
+        (ms, hit_rates, cells_ratio, base.report.rm_read_rate(), top.rm_read_rate())
+    };
+
     // The `sweep` microbench group on the tiny matrix (fast, stable).
     let mut m = Micro::new();
     {
@@ -310,7 +373,7 @@ fn main() {
         .join("\n");
 
     let json = format!(
-        "{{\n  \"schema\": \"readduo-bench-sweep-v5\",\n  \"generated_by\": \"cargo run --release -p readduo-bench --bin bench_sweep\",\n  \"instructions_per_core\": {instr},\n  \"parallel_threads\": {threads},\n  \"fig9_matrix\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"baseline_pr1_sequential_ms\": {base:.0},\n    \"baseline_pr2_sequential_warm_ms\": {base2:.0},\n    \"sequential_cold_ms\": {cold:.0},\n    \"sequential_warm_ms\": {warm:.0},\n    \"parallel_warm_ms\": {par:.0},\n    \"streaming_warm_ms\": {stream:.0},\n    \"speedup_vs_pr1_baseline\": {speedup:.2},\n    \"speedup_vs_pr2_warm_baseline\": {speedup2:.2}\n  }},\n  \"fig9_matrix_10m\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"instructions_per_core\": 10000000,\n    \"baseline_pr6_streaming_ms\": {base6:.0},\n    \"streaming_ms\": {ms10:.0},\n    \"peak_rss_mb\": {rss10:.0},\n    \"speedup_vs_pr6_baseline\": {speedup6:.2}\n  }},\n  \"shard_scale\": {{\n    \"channels\": 8,\n    \"instructions_per_core\": 10000000,\n    \"scheme\": \"LWT-4\",\n    \"workload\": \"mcf\",\n    \"threads1_ms\": {st1:.0},\n    \"threads8_ms\": {st8:.0},\n    \"speedup_8t_vs_1t\": {sspd:.2},\n    \"host_parallelism\": {hostp},\n    \"not_meaningful\": {snm},\n    \"reports_identical\": true\n  }},\n  \"lifetime\": {{\n    \"scheme\": \"Select-4:2\",\n    \"workload\": \"mcf\",\n    \"accel\": 300000,\n    \"run_ms\": {lms:.0},\n    \"verify_retries\": {lretries},\n    \"lines_remapped\": {lremaps},\n    \"repeat_identical\": true,\n    \"silent_corruptions\": 0\n  }},\n  \"kernels\": {{\n    \"erfc_scalar_ns_per_cell\": {kes:.2},\n    \"erfc_batch_ns_per_cell\": {keb:.2},\n    \"bch_decode_scalar_ns_per_codeword\": {kbs:.1},\n    \"bch_decode_bitslice_ns_per_codeword\": {kbb:.1}\n  }},\n  \"parallel_equals_sequential\": {identical},\n  \"streaming_equals_sequential\": {identical},\n  \"micro\": {micro}\n}}\n",
+        "{{\n  \"schema\": \"readduo-bench-sweep-v6\",\n  \"generated_by\": \"cargo run --release -p readduo-bench --bin bench_sweep\",\n  \"instructions_per_core\": {instr},\n  \"parallel_threads\": {threads},\n  \"fig9_matrix\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"baseline_pr1_sequential_ms\": {base:.0},\n    \"baseline_pr2_sequential_warm_ms\": {base2:.0},\n    \"sequential_cold_ms\": {cold:.0},\n    \"sequential_warm_ms\": {warm:.0},\n    \"parallel_warm_ms\": {par:.0},\n    \"streaming_warm_ms\": {stream:.0},\n    \"speedup_vs_pr1_baseline\": {speedup:.2},\n    \"speedup_vs_pr2_warm_baseline\": {speedup2:.2}\n  }},\n  \"fig9_matrix_10m\": {{\n    \"schemes\": {nschemes},\n    \"workloads\": {nworkloads},\n    \"instructions_per_core\": 10000000,\n    \"baseline_pr6_streaming_ms\": {base6:.0},\n    \"streaming_ms\": {ms10:.0},\n    \"peak_rss_mb\": {rss10:.0},\n    \"speedup_vs_pr6_baseline\": {speedup6:.2}\n  }},\n  \"shard_scale\": {{\n    \"channels\": 8,\n    \"instructions_per_core\": 10000000,\n    \"scheme\": \"LWT-4\",\n    \"workload\": \"mcf\",\n    \"threads1_ms\": {st1:.0},\n    \"threads8_ms\": {st8:.0},\n    \"speedup_8t_vs_1t\": {sspd:.2},\n    \"host_parallelism\": {hostp},\n    \"not_meaningful\": {snm},\n    \"reports_identical\": true\n  }},\n  \"lifetime\": {{\n    \"scheme\": \"Select-4:2\",\n    \"workload\": \"mcf\",\n    \"accel\": 300000,\n    \"run_ms\": {lms:.0},\n    \"verify_retries\": {lretries},\n    \"lines_remapped\": {lremaps},\n    \"repeat_identical\": true,\n    \"silent_corruptions\": 0\n  }},\n  \"dram_sweep\": {{\n    \"scheme\": \"LWT-4\",\n    \"workload\": \"mcf\",\n    \"threshold\": 1,\n    \"capacities_lines\": [4096, 16384, 65536],\n    \"hit_rates\": [{dhr0:.4}, {dhr1:.4}, {dhr2:.4}],\n    \"write_traffic_ratio_top\": {dcr:.4},\n    \"rm_read_rate_base\": {drmb:.6},\n    \"rm_read_rate_top\": {drmt:.6},\n    \"run_ms\": {dms:.0},\n    \"repeat_identical\": true,\n    \"monotone_hit_rate\": true\n  }},\n  \"kernels\": {{\n    \"erfc_scalar_ns_per_cell\": {kes:.2},\n    \"erfc_batch_ns_per_cell\": {keb:.2},\n    \"bch_decode_scalar_ns_per_codeword\": {kbs:.1},\n    \"bch_decode_bitslice_ns_per_codeword\": {kbb:.1}\n  }},\n  \"parallel_equals_sequential\": {identical},\n  \"streaming_equals_sequential\": {identical},\n  \"micro\": {micro}\n}}\n",
         instr = h.instructions_per_core,
         threads = threads,
         nschemes = schemes.len(),
@@ -332,6 +395,13 @@ fn main() {
             -1.0
         },
         lms = lifetime_ms,
+        dhr0 = dram_hit_rates[0],
+        dhr1 = dram_hit_rates[1],
+        dhr2 = dram_hit_rates[2],
+        dcr = dram_cells_ratio,
+        drmb = dram_rm_base,
+        drmt = dram_rm_tiered,
+        dms = dram_ms,
         lretries = lifetime_retries,
         lremaps = lifetime_remaps,
         st1 = shard_t1_ms,

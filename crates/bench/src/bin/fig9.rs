@@ -4,6 +4,13 @@
 //! `--channels N` overrides the memory topology (equivalent to setting
 //! `READDUO_CHANNELS=N`): with `N > 1` each run shards per channel onto
 //! the worker pool, and the table/CSV reflect the merged reports.
+//!
+//! `--dram-lines N` puts the hybrid DRAM–PCM migration tier (capacity
+//! `N` lines, organisation from the `READDUO_DRAM_*` knobs) in front of
+//! every scheme and runs the same matrix through it; `READDUO_DRAM=1`
+//! does the same with the capacity taken from `READDUO_DRAM_LINES`.
+//! With neither, the tier does not exist and the output is bit-for-bit
+//! the plain figure.
 
 use readduo_bench::{
     finish_telemetry, handle_help, normalized, render_table, result_for, write_csv, Harness,
@@ -17,6 +24,7 @@ fn main() {
         "Figure 9: normalised execution time of the headline schemes over SPEC2006",
     );
     let mut harness = Harness::from_env();
+    let mut dram_lines: Option<u64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -31,8 +39,21 @@ fn main() {
                     });
                 harness.memory = harness.memory.with_channels(n);
             }
+            "--dram-lines" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("fig9: --dram-lines needs a positive integer");
+                        std::process::exit(2);
+                    });
+                dram_lines = Some(n);
+            }
             _ => {
-                eprintln!("fig9: unknown argument {a:?} (supported: --channels N)");
+                eprintln!(
+                    "fig9: unknown argument {a:?} (supported: --channels N, --dram-lines N)"
+                );
                 std::process::exit(2);
             }
         }
@@ -46,7 +67,30 @@ fn main() {
         harness.instructions_per_core,
         harness.memory.topology.channels
     );
-    let results = harness.run_matrix(&schemes, &workloads);
+    // `--dram-lines N` wins; otherwise `READDUO_DRAM=1` enables the tier
+    // at the `READDUO_DRAM_*` organisation. Neither ⇒ the plain figure.
+    let tier = dram_lines
+        .map(|lines| readduo_dram::DramConfig::new(harness.seed, lines).tuned_from_env())
+        .or_else(|| readduo_dram::DramConfig::from_env(harness.seed));
+    let results = match tier {
+        Some(dram) => {
+            // Tiered matrix: each workload's trace is generated once and
+            // replayed through every scheme with the DRAM tier in front.
+            eprintln!(
+                "  DRAM tier: {} lines, {}-way, threshold {}, {:?}",
+                dram.lines, dram.ways, dram.threshold, dram.policy
+            );
+            let mut v = Vec::with_capacity(schemes.len() * workloads.len());
+            for w in &workloads {
+                let trace = harness.trace_for(w);
+                for &s in &schemes {
+                    v.push(harness.run_tiered_on_trace(w, &trace, s, dram));
+                }
+            }
+            v
+        }
+        None => harness.run_matrix(&schemes, &workloads),
+    };
     let rows = normalized(&results, SchemeKind::Ideal, |r| r.exec_ns as f64);
 
     let mut header: Vec<String> = vec!["workload".into()];

@@ -343,6 +343,79 @@ impl Harness {
         Some(result)
     }
 
+    /// Runs one (workload, scheme) pair with the hybrid DRAM–PCM tier in
+    /// front of the scheme device: the hot working set migrates into DRAM
+    /// after `dram.threshold` misses, write hits are absorbed at DRAM
+    /// latency with zero PCM cells programmed, and dirty demotions
+    /// re-program the PCM line through the scheme's normal write path
+    /// (resetting its drift age and charging wear). A zero-capacity
+    /// `dram.lines` runs bit-for-bit the plain [`run_one`] path.
+    ///
+    /// [`run_one`]: Harness::run_one
+    pub fn run_one_tiered(
+        &self,
+        workload: &Workload,
+        scheme: SchemeKind,
+        dram: readduo_dram::DramConfig,
+    ) -> RunResult {
+        let trace = self.trace_for(workload);
+        self.run_tiered_on_trace(workload, &trace, scheme, dram)
+    }
+
+    /// [`run_one_tiered`] against an already-generated trace (matrix and
+    /// sweep callers build each workload's trace once and reuse it across
+    /// schemes and DRAM configurations).
+    ///
+    /// Sharded topologies give each channel its own DRAM slice
+    /// (`dram.lines / channels`) with the set-index hash seed
+    /// decorrelated via `channel_seed` — channel 0 of a single-channel
+    /// topology is bit-for-bit the unsharded tier.
+    ///
+    /// [`run_one_tiered`]: Harness::run_one_tiered
+    pub fn run_tiered_on_trace(
+        &self,
+        workload: &Workload,
+        trace: &Trace,
+        scheme: SchemeKind,
+        dram: readduo_dram::DramConfig,
+    ) -> RunResult {
+        let warm_boundary = (workload.footprint_lines.max(16) as f64
+            * workload.locality.written_fraction) as u64;
+        let seed = self.seed ^ workload.name.len() as u64;
+        let _phase =
+            readduo_telemetry::trace::phase(format!("sim-tiered/{}/{scheme}", workload.name));
+        readduo_telemetry::trace::set_run_label(&format!("{}/{scheme} (tiered)", workload.name));
+        let sim = Simulator::new(self.memory);
+        let channels = self.memory.topology.channels;
+        let report = if channels > 1 {
+            sim.run_sharded(
+                &Pool::from_env(),
+                |_ch| readduo_trace::TraceCursor::new(trace),
+                |ch| {
+                    scheme.build_tiered_for_channel(
+                        seed,
+                        ch,
+                        channels,
+                        dram,
+                        warm_boundary,
+                        workload.footprint_lines,
+                    )
+                },
+            )
+        } else {
+            let mut device =
+                scheme.build_tiered(seed, dram, warm_boundary, workload.footprint_lines);
+            sim.run(trace, device.as_mut())
+        };
+        let result = RunResult {
+            workload: workload.name,
+            scheme,
+            report,
+        };
+        publish_run_metrics(&result);
+        result
+    }
+
     /// Runs the full `schemes × workloads` matrix on the ambient pool
     /// ([`Pool::from_env`]; `READDUO_THREADS=1` forces sequential).
     pub fn run_matrix(&self, schemes: &[SchemeKind], workloads: &[Workload]) -> Vec<RunResult> {
@@ -496,6 +569,9 @@ fn publish_run_metrics(r: &RunResult) {
     counter_add("sim.scrubs", r.report.scrubs);
     counter_add("sim.scrubs_skipped", r.report.scrubs_skipped);
     counter_add("sim.corrective_rewrites", r.report.corrective_rewrites);
+    counter_add("sim.dram_hits", r.report.dram_hits);
+    counter_add("sim.dram_promotions", r.report.dram_promotions);
+    counter_add("sim.dram_writebacks", r.report.dram_writebacks);
     hist_merge("sim.read_latency_ns", r.report.read_latency.histogram());
     hist_merge("sim.retry_latency_ns", r.report.retry_latency.histogram());
 }

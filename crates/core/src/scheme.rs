@@ -151,6 +151,55 @@ impl SchemeKind {
         self.build_for(channel_seed(seed, channel), warm_boundary, footprint_lines)
     }
 
+    /// Builds the device model with a hybrid DRAM–PCM migration tier in
+    /// front of it ([`readduo_dram::TieredDevice`]): the scheme device is
+    /// exactly what [`build_for`] builds, and a zero-capacity
+    /// `dram.lines` returns it bare — that is the "disabled tier == plain
+    /// run" bit-for-bit guarantee, in the same spirit as the fault and
+    /// wear subsystems. Every scheme is tierable: the tier is a decorator
+    /// over the device-model trait, not a per-scheme feature.
+    ///
+    /// [`build_for`]: SchemeKind::build_for
+    pub fn build_tiered(
+        &self,
+        seed: u64,
+        dram: readduo_dram::DramConfig,
+        warm_boundary: u64,
+        footprint_lines: u64,
+    ) -> Box<dyn DeviceModel> {
+        self.build_tiered_for_channel(seed, 0, 1, dram, warm_boundary, footprint_lines)
+    }
+
+    /// [`build_tiered`] for one channel of a sharded topology: the scheme
+    /// seed decorrelates via [`channel_seed`] (like [`build_for_channel`])
+    /// and so does the tier's set-index hash seed; the DRAM capacity is
+    /// the per-channel slice of `dram.lines` over `channels`. Channel 0
+    /// of a single-channel topology builds bit-for-bit the device
+    /// [`build_tiered`] builds.
+    ///
+    /// [`build_tiered`]: SchemeKind::build_tiered
+    /// [`build_for_channel`]: SchemeKind::build_for_channel
+    pub fn build_tiered_for_channel(
+        &self,
+        seed: u64,
+        channel: usize,
+        channels: usize,
+        dram: readduo_dram::DramConfig,
+        warm_boundary: u64,
+        footprint_lines: u64,
+    ) -> Box<dyn DeviceModel> {
+        let inner = self.build_for_channel(seed, channel, warm_boundary, footprint_lines);
+        let cfg = readduo_dram::DramConfig {
+            seed: channel_seed(dram.seed, channel),
+            ..dram.sliced(channels)
+        };
+        if cfg.lines == 0 {
+            inner
+        } else {
+            Box::new(readduo_dram::TieredDevice::new(inner, cfg).with_channel(channel))
+        }
+    }
+
     /// Builds the device model with Monte-Carlo fault injection attached
     /// (`fault_seed` drives the fault stream independently of the analytic
     /// sampler's `seed`). Returns `None` for schemes without an injected

@@ -33,6 +33,12 @@ pub enum EnvKind {
     Flag,
     /// A filesystem path, taken verbatim.
     Path,
+    /// One of a fixed set of keywords (case-insensitive), `|`-separated
+    /// in `values` (e.g. `"lru|clock"`).
+    Choice {
+        /// Accepted spellings, `|`-separated.
+        values: &'static str,
+    },
 }
 
 impl EnvKind {
@@ -43,6 +49,7 @@ impl EnvKind {
             EnvKind::Seed => "u64 seed".into(),
             EnvKind::Flag => "flag (0/1)".into(),
             EnvKind::Path => "path".into(),
+            EnvKind::Choice { values } => format!("one of {values}"),
         }
     }
 }
@@ -206,6 +213,36 @@ pub fn recognized() -> &'static [EnvVar] {
             default: "64",
             doc: "Spare lines available per device/channel for remapping over-margin worn lines",
         },
+        EnvVar {
+            name: "READDUO_DRAM",
+            kind: EnvKind::Flag,
+            default: "0",
+            doc: "Enable the hybrid DRAM-PCM tier: a hardware-managed migration cache in front of PCM",
+        },
+        EnvVar {
+            name: "READDUO_DRAM_LINES",
+            kind: EnvKind::Count { min: 1 },
+            default: "4096",
+            doc: "Total DRAM-tier capacity in lines (split evenly across channels when sharded)",
+        },
+        EnvVar {
+            name: "READDUO_DRAM_WAYS",
+            kind: EnvKind::Count { min: 1 },
+            default: "8",
+            doc: "Set associativity of the DRAM migration cache",
+        },
+        EnvVar {
+            name: "READDUO_DRAM_THRESHOLD",
+            kind: EnvKind::Count { min: 1 },
+            default: "2",
+            doc: "Misses a line must accumulate before it is promoted into DRAM (MigrantStore-style trigger)",
+        },
+        EnvVar {
+            name: "READDUO_DRAM_POLICY",
+            kind: EnvKind::Choice { values: "lru|clock" },
+            default: "lru",
+            doc: "Eviction policy of the DRAM migration cache",
+        },
     ];
     VARS
 }
@@ -321,6 +358,23 @@ pub fn string(name: &str) -> Option<String> {
     raw(name)
 }
 
+/// Reads `name` as one of the `allowed` keywords, case-insensitively;
+/// returns the matching canonical (allowed-list) spelling.
+///
+/// # Panics
+///
+/// Panics with a diagnostic naming the variable and the accepted keywords
+/// when the value is set but matches none of them.
+pub fn choice(name: &str, allowed: &[&'static str]) -> Option<&'static str> {
+    raw(name).map(|v| {
+        let lower = v.trim().to_ascii_lowercase();
+        match allowed.iter().find(|a| a.eq_ignore_ascii_case(&lower)) {
+            Some(a) => *a,
+            None => invalid(name, &v, &format!("expected one of {}", allowed.join("|"))),
+        }
+    })
+}
+
 /// The raw value of `name`, with unset and empty both mapped to `None`.
 fn raw(name: &str) -> Option<String> {
     match env::var(name) {
@@ -409,6 +463,21 @@ mod tests {
     fn garbage_flag_rejected() {
         env::set_var("READDUO_ENVTEST_BADFLAG", "maybe");
         let _ = flag("READDUO_ENVTEST_BADFLAG");
+    }
+
+    #[test]
+    fn choices_match_case_insensitively_and_canonicalise() {
+        env::set_var("READDUO_ENVTEST_CHOICE", " Clock ");
+        assert_eq!(choice("READDUO_ENVTEST_CHOICE", &["lru", "clock"]), Some("clock"));
+        env::remove_var("READDUO_ENVTEST_CHOICE");
+        assert_eq!(choice("READDUO_ENVTEST_CHOICE", &["lru", "clock"]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected one of lru|clock")]
+    fn garbage_choice_rejected() {
+        env::set_var("READDUO_ENVTEST_BADCHOICE", "fifo");
+        let _ = choice("READDUO_ENVTEST_BADCHOICE", &["lru", "clock"]);
     }
 
     #[test]

@@ -19,6 +19,62 @@ pub enum ReadMode {
     RmRead,
 }
 
+/// What the DRAM migration tier (`readduo-dram`) did on top of an access.
+///
+/// Both [`ReadOutcome`] and [`WriteOutcome`] carry one of these; a device
+/// with no tier attached leaves it at the all-zero default, which makes
+/// every tier attribution in the engine a no-op add — untiered runs stay
+/// bit-for-bit identical (the same discipline as the wear fields).
+///
+/// A dirty demotion re-programs the victim PCM line through the wrapped
+/// scheme's normal write path; its cost travels in the `writeback_*`
+/// fields here (never folded into the main outcome's cell/energy fields)
+/// so demand and migration traffic stay separable, while the writeback's
+/// *latency* is folded into the triggering outcome's `latency_ns` — the
+/// migration occupies the same bank.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TierOutcome {
+    /// A DRAM tier serviced (or at least observed) this access. Set on
+    /// every outcome a tiered device returns; distinguishes "no tier
+    /// attached" from "tier miss".
+    pub tiered: bool,
+    /// The access hit in DRAM — the PCM device was not consulted.
+    pub hit: bool,
+    /// This miss crossed the migration threshold and promoted the line
+    /// into DRAM.
+    pub promotion: bool,
+    /// The promotion evicted a resident victim line back to PCM.
+    pub demotion: bool,
+    /// The demoted victim was dirty and was re-programmed into PCM
+    /// (drift-age reset + wear charge through the scheme write path).
+    pub writeback: bool,
+    /// Bank time the writeback added, ns (already folded into the main
+    /// outcome's `latency_ns`; recorded separately for telemetry spans).
+    pub writeback_latency_ns: u64,
+    /// MLC cells the writeback programmed.
+    pub writeback_cells: u32,
+    /// SLC flag bits the writeback programmed (LWT bookkeeping).
+    pub writeback_slc_bits: u32,
+    /// Writeback dynamic energy, pJ.
+    pub writeback_energy_pj: f64,
+    /// Write-verify retries the writeback needed (wear subsystem).
+    pub writeback_verify_retries: u32,
+    /// Cells the writeback killed after the retry budget ran out.
+    pub writeback_cells_failed: u32,
+    /// The writeback remapped the victim line to a spare.
+    pub writeback_remapped: bool,
+    /// The writeback wanted a spare and found the pool empty.
+    pub writeback_spares_exhausted: bool,
+}
+
+impl TierOutcome {
+    /// The untiered default: every field zero, so engine attribution is a
+    /// pure no-op.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
 /// What a read did.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReadOutcome {
@@ -52,6 +108,9 @@ pub struct ReadOutcome {
     /// Stuck-at bits of worn-out cells that read back *wrong* on this
     /// access (they entered the decode as erasure-hinted errors).
     pub stuck_bits: u32,
+    /// What the DRAM migration tier did, if one is attached (all-zero
+    /// otherwise).
+    pub tier: TierOutcome,
 }
 
 impl ReadOutcome {
@@ -71,6 +130,7 @@ impl ReadOutcome {
             detected_uncorrectable: false,
             silent_corruption: false,
             stuck_bits: 0,
+            tier: TierOutcome::none(),
         }
     }
 }
@@ -98,6 +158,9 @@ pub struct WriteOutcome {
     /// A remap was wanted but the channel's spare pool was empty — the
     /// line soldiers on and its errors fall to the erasure-aware decoder.
     pub spares_exhausted: bool,
+    /// What the DRAM migration tier did, if one is attached (all-zero
+    /// otherwise).
+    pub tier: TierOutcome,
 }
 
 impl WriteOutcome {
@@ -113,6 +176,7 @@ impl WriteOutcome {
             cells_failed: 0,
             remapped: false,
             spares_exhausted: false,
+            tier: TierOutcome::none(),
         }
     }
 }

@@ -440,6 +440,7 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                 if out.untracked {
                     self.report.untracked_reads += 1;
                 }
+                self.record_tier(b, &out.tier, done);
                 if let Some(cw) = out.conversion {
                     self.report.conversions += 1;
                     self.record_wear(b, &cw, done);
@@ -498,6 +499,7 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
                 self.report.cells_written_demand += out.cells_written as u64;
                 self.report.slc_bits_written += out.slc_bits_written as u64;
                 self.record_wear(b, &out, now);
+                self.record_tier(b, &out.tier, now);
                 self.banks[b].queue.push_back(WriteJob {
                     outcome: out,
                     source: WriteSource::Demand,
@@ -530,6 +532,55 @@ impl<D: DeviceModel + ?Sized, S: OpSource> Run<'_, D, S> {
             }
             if w.spares_exhausted {
                 tel.trace.instant(b as u32, "spares-exhausted", at);
+            }
+        }
+    }
+
+    /// Tallies the DRAM-tier side of an access outcome (hit/miss,
+    /// promotion, demotion, dirty writeback), wherever the access was
+    /// dispatched. The writeback's latency is already folded into the
+    /// triggering outcome by the tiered device (the migration occupies
+    /// the bank); here only its traffic and wear consequences are
+    /// attributed. Returns immediately while no tier is attached —
+    /// `tiered` is false on every outcome then — so untiered runs are
+    /// bit-for-bit unchanged.
+    fn record_tier(&mut self, b: usize, t: &crate::device::TierOutcome, at: u64) {
+        if !t.tiered {
+            return;
+        }
+        if t.hit {
+            self.report.dram_hits += 1;
+        } else {
+            self.report.dram_misses += 1;
+        }
+        self.report.dram_promotions += t.promotion as u64;
+        self.report.dram_demotions += t.demotion as u64;
+        self.report.dram_writebacks += t.writeback as u64;
+        self.report.cells_written_demotion += t.writeback_cells as u64;
+        self.report.slc_bits_written += t.writeback_slc_bits as u64;
+        self.report.energy_demotion_pj += t.writeback_energy_pj;
+        self.report.verify_retries += t.writeback_verify_retries as u64;
+        self.report.wear_cells_failed += t.writeback_cells_failed as u64;
+        self.report.lines_remapped += t.writeback_remapped as u64;
+        self.report.spares_exhausted_writes += t.writeback_spares_exhausted as u64;
+        if let Some(tel) = &mut self.tel {
+            let name = if t.hit { "dram.hit" } else { "dram.miss" };
+            tel.trace.instant(b as u32, name, at);
+            if t.promotion {
+                tel.trace.instant(b as u32, "dram.promote", at);
+            }
+            if t.demotion {
+                tel.trace.instant(b as u32, "dram.demote", at);
+            }
+            if t.writeback {
+                // Migration span: the demotion writeback's slice of the
+                // bank time (its latency is the tail of the access).
+                tel.trace.span(
+                    b as u32,
+                    "dram.migrate",
+                    at.saturating_sub(t.writeback_latency_ns),
+                    at,
+                );
             }
         }
     }

@@ -48,7 +48,8 @@ pub mod stats;
 
 pub use config::{EnergyModel, LineAddr, MemoryConfig, Topology};
 pub use device::{
-    DeviceModel, FixedLatencyDevice, ReadMode, ReadOutcome, ScrubOutcome, WriteOutcome,
+    DeviceModel, FixedLatencyDevice, ReadMode, ReadOutcome, ScrubOutcome, TierOutcome,
+    WriteOutcome,
 };
 pub use engine::Simulator;
 pub use sched::{ChannelMerge, EventQueue};

@@ -155,6 +155,21 @@ pub struct SimReport {
     pub stuck_bit_reads: u64,
     /// Total wrong stuck-at bits entering the erasure-aware decoder.
     pub stuck_bits_seen: u64,
+    /// Accesses serviced from the DRAM migration tier (zero while the
+    /// tier is disabled, like every other `dram_*` field).
+    pub dram_hits: u64,
+    /// Accesses that missed the DRAM tier and went to PCM.
+    pub dram_misses: u64,
+    /// Lines promoted into DRAM after crossing the migration threshold.
+    pub dram_promotions: u64,
+    /// Resident lines evicted back to PCM to make room for a promotion.
+    pub dram_demotions: u64,
+    /// Dirty demotions that re-programmed the PCM line (drift-age reset).
+    pub dram_writebacks: u64,
+    /// MLC cells programmed by demotion writebacks.
+    pub cells_written_demotion: u64,
+    /// Demotion-writeback energy, pJ.
+    pub energy_demotion_pj: f64,
 }
 
 impl SimReport {
@@ -172,14 +187,40 @@ impl SimReport {
         self.energy_read_pj + self.energy_write_pj + self.energy_scrub_pj
             + self.energy_conversion_pj
             + self.energy_corrective_pj
+            + self.energy_demotion_pj
     }
 
-    /// Total MLC cells programmed (lifetime / endurance proxy).
+    /// Total MLC cells programmed (lifetime / endurance proxy). Demotion
+    /// writebacks are PCM programs and count like any other source.
     pub fn cells_written_total(&self) -> u64 {
         self.cells_written_demand
             + self.cells_written_scrub
             + self.cells_written_conversion
             + self.cells_written_corrective
+            + self.cells_written_demotion
+    }
+
+    /// DRAM-tier hit rate over all demand accesses, in [0,1] (0 when the
+    /// tier is disabled or saw no traffic).
+    pub fn dram_hit_rate(&self) -> f64 {
+        let total = self.dram_hits + self.dram_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dram_hits as f64 / total as f64
+        }
+    }
+
+    /// Escalated (R-M) read fraction over all demand reads, in [0,1] — the
+    /// LWT escalation rate the DRAM tier's drift-age resets shift down.
+    /// DRAM hits stay in the denominator: they are demand reads the tier
+    /// serviced without any chance of escalation.
+    pub fn rm_read_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.reads_rm as f64 / self.reads as f64
+        }
     }
 
     /// Fraction of reads that were untracked (`P%` as a ratio in [0,1]).
@@ -240,6 +281,13 @@ impl SimReport {
         self.spares_exhausted_writes += other.spares_exhausted_writes;
         self.stuck_bit_reads += other.stuck_bit_reads;
         self.stuck_bits_seen += other.stuck_bits_seen;
+        self.dram_hits += other.dram_hits;
+        self.dram_misses += other.dram_misses;
+        self.dram_promotions += other.dram_promotions;
+        self.dram_demotions += other.dram_demotions;
+        self.dram_writebacks += other.dram_writebacks;
+        self.cells_written_demotion += other.cells_written_demotion;
+        self.energy_demotion_pj += other.energy_demotion_pj;
     }
 
     /// Merges per-channel reports (in channel order) into one run report.

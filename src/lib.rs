@@ -10,6 +10,8 @@
 //! * [`ecc`] — BCH, SECDED and parity codecs,
 //! * [`trace`] — synthetic SPEC2006-like memory traces,
 //! * [`memsim`] — the event-driven multi-core memory-system simulator,
+//! * [`dram`] — the hybrid DRAM–PCM migration tier (hardware-managed
+//!   cache with drift-age reset on demotion),
 //! * [`core`] — the ReadDuo schemes (Hybrid, LWT-k, Select-(k:s)) and
 //!   baselines (Ideal, Scrubbing, M-metric, TLC),
 //! * [`reliability`] — the analytic drift reliability engine.
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub use readduo_core as core;
+pub use readduo_dram as dram;
 pub use readduo_ecc as ecc;
 pub use readduo_math as math;
 pub use readduo_memsim as memsim;

@@ -37,23 +37,39 @@ fn run_matrix_is_identical_across_thread_counts() {
     let worn_scheme = SchemeKind::Select { k: 4, s: 2 };
     let worn_workload = Workload::by_name("mcf").expect("mcf");
 
+    // Tiered runs too: the DRAM cache is per-channel state, so the merged
+    // tiered report must also be independent of the pool width.
+    let dram = readduo::dram::DramConfig::new(harness.seed, 1_024).with_threshold(1);
+    let tiered_scheme = SchemeKind::Lwt { k: 4 };
+    let tiered_workload = Workload::by_name("gcc").expect("gcc");
+
     std::env::set_var("READDUO_THREADS", "4");
     let parallel = harness.run_matrix(&schemes, &workloads);
     let streamed_par = harness.run_matrix_streamed(&schemes, &workloads);
     let worn_par = harness
         .run_one_worn(&worn_workload, worn_scheme, 0x00FA_0017, wear)
         .expect("Select is injectable");
+    let tiered_par = harness.run_one_tiered(&tiered_workload, tiered_scheme, dram);
     std::env::set_var("READDUO_THREADS", "1");
     let sequential = harness.run_matrix(&schemes, &workloads);
     let streamed_seq = harness.run_matrix_streamed(&schemes, &workloads);
     let worn_seq = harness
         .run_one_worn(&worn_workload, worn_scheme, 0x00FA_0017, wear)
         .expect("Select is injectable");
+    let tiered_seq = harness.run_one_tiered(&tiered_workload, tiered_scheme, dram);
     std::env::remove_var("READDUO_THREADS");
 
     assert_eq!(
         worn_par.report, worn_seq.report,
         "worn run diverged across thread counts"
+    );
+    assert_eq!(
+        tiered_par.report, tiered_seq.report,
+        "tiered run diverged across thread counts"
+    );
+    assert!(
+        tiered_par.report.dram_hits > 0,
+        "tiered determinism leg must actually hit in DRAM"
     );
 
     assert_eq!(parallel.len(), schemes.len() * workloads.len());

@@ -217,6 +217,56 @@ fn sharded_engine_matches_sequential_reference_under_wear() {
     );
 }
 
+/// The same differential gate with the hybrid DRAM–PCM tier in front of
+/// every channel's device: the cache tag store, miss counters, row-buffer
+/// state and migration decisions are all channel-local, so a tiered
+/// sharded run must still be bit-for-bit the sequential single-wheel
+/// reference at every pool width. The tier is sized to actually hit —
+/// a cold cache would make this leg vacuous.
+#[test]
+fn sharded_engine_matches_sequential_reference_with_dram_tier() {
+    use readduo::dram::DramConfig;
+    let widths = pool_widths();
+    let schemes = [
+        SchemeKind::Scrubbing,
+        SchemeKind::Lwt { k: 4 },
+        SchemeKind::Select { k: 4, s: 2 },
+    ];
+    let w = Workload::by_name("gcc").expect("gcc in the SPEC2006 set");
+    // A longer trace than the shared `trace_for` one: the non-vacuity
+    // check needs enough reuse for hits and enough churn for dirty
+    // demotions out of the smallest (1/8th) per-channel slice.
+    let trace = TraceGenerator::new(SEED).generate(&w, 120_000, 2);
+    let seed = SEED ^ w.name.len() as u64;
+    let dram = DramConfig::new(SEED, 32).with_threshold(1);
+    let mut total_hits = 0u64;
+    let mut total_writebacks = 0u64;
+    for &scheme in &schemes {
+        for channels in [1usize, 2, 8] {
+            let sim = Simulator::new(MemoryConfig::small_test().with_channels(channels));
+            let device =
+                |ch: usize| scheme.build_tiered_for_channel(seed, ch, channels, dram, 0, 0);
+            let reference = sim.run_sharded_reference(|_| TraceCursor::new(&trace), device);
+            total_hits += reference.dram_hits;
+            total_writebacks += reference.dram_writebacks;
+            for &workers in &widths {
+                let sharded =
+                    sim.run_sharded(&Pool::new(workers), |_| TraceCursor::new(&trace), device);
+                assert_eq!(
+                    sharded, reference,
+                    "{scheme} channels={channels} workers={workers}: \
+                     tiered sharded run diverged from the sequential reference"
+                );
+            }
+        }
+    }
+    assert!(
+        total_hits > 0 && total_writebacks > 0,
+        "the tiered equivalence leg must exercise hits and dirty demotions \
+         (hits {total_hits}, writebacks {total_writebacks})"
+    );
+}
+
 /// Edge case: congestion does not cross channels. Core 0 hammers writes
 /// into channel 0 against a device with a pathological write latency —
 /// its per-bank write queues fill and stall core 0 — while core 1 reads
